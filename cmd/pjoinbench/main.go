@@ -1,0 +1,103 @@
+// Command pjoinbench regenerates the paper's tables and figures: it
+// runs the reproduction experiments defined in internal/bench and
+// prints each figure's series as a summary table plus an ASCII chart,
+// optionally exporting the raw series as CSV.
+//
+// Usage:
+//
+//	pjoinbench -list
+//	pjoinbench -fig 5            # one figure (accepts "5", "fig5", "table1")
+//	pjoinbench -all              # every figure and table
+//	pjoinbench -fig 9 -quick     # 1/10th horizon smoke run
+//	pjoinbench -fig 7 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pjoin/internal/bench"
+	"pjoin/internal/metrics"
+	"pjoin/internal/stream"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		fig   = flag.String("fig", "", "experiment to run (e.g. 5, fig5, table1)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "shortened horizon (1/10th)")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		durMs = flag.Int64("duration-ms", 0, "override virtual horizon in milliseconds")
+		csv   = flag.String("csv", "", "write the raw series to this CSV file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	rc := bench.RunConfig{
+		Seed:     *seed,
+		Quick:    *quick,
+		Duration: stream.Time(*durMs) * stream.Millisecond,
+	}
+
+	var exps []bench.Experiment
+	switch {
+	case *all:
+		exps = bench.Experiments()
+	case *fig != "":
+		e, err := bench.Get(*fig)
+		if err != nil {
+			// Bare numbers are a convenience for "figN".
+			var err2 error
+			if e, err2 = bench.Get("fig" + *fig); err2 != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		exps = []bench.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "pjoinbench: pass -list, -all or -fig N (see -help)")
+		os.Exit(2)
+	}
+
+	var allSeries []metrics.Series
+	for _, e := range exps {
+		start := time.Now()
+		rep, err := e.Run(rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s wall time: %.2fs)\n\n", e.ID, time.Since(start).Seconds())
+		for _, s := range rep.Series {
+			s.Name = rep.ID + "/" + s.Name
+			allSeries = append(allSeries, s)
+		}
+	}
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := metrics.WriteCSV(f, allSeries...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csv)
+	}
+}

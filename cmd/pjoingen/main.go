@@ -1,0 +1,210 @@
+// Command pjoingen generates punctuated stream workloads as plain text
+// files (see internal/stream's text format) and can replay a pair of
+// stream files through PJoin.
+//
+// Usage:
+//
+//	pjoingen -kind synthetic -duration-ms 5000 -punct-a 10 -punct-b 40 \
+//	         -out-a a.stream -out-b b.stream
+//	pjoingen -kind auction -items 200 -out-a open.stream -out-b bid.stream
+//	pjoingen -replay -in-a a.stream -in-b b.stream -purge 10
+//
+// Replay reads the two files, validates honesty, runs PJoin (synthetic
+// schemas: k int, payload string / auction schemas auto-detected by
+// width) and prints the result statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pjoin/internal/core"
+	"pjoin/internal/gen"
+	"pjoin/internal/op"
+	"pjoin/internal/stream"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "synthetic", "workload kind: synthetic | auction")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		durMs = flag.Int64("duration-ms", 5_000, "synthetic: virtual duration in ms")
+		pa    = flag.Float64("punct-a", 10, "synthetic: stream A punctuation inter-arrival (tuples)")
+		pb    = flag.Float64("punct-b", 10, "synthetic: stream B punctuation inter-arrival (tuples)")
+		items = flag.Int("items", 100, "auction: number of items")
+		outA  = flag.String("out-a", "a.stream", "output file for stream A / Open")
+		outB  = flag.String("out-b", "b.stream", "output file for stream B / Bid")
+
+		replay = flag.Bool("replay", false, "replay two stream files through PJoin")
+		inA    = flag.String("in-a", "", "replay: stream A file")
+		inB    = flag.String("in-b", "", "replay: stream B file")
+		purge  = flag.Int("purge", 1, "replay: purge threshold")
+	)
+	flag.Parse()
+
+	if *replay {
+		if err := runReplay(*inA, *inB, *purge); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var (
+		arrs []gen.Arrival
+		err  error
+	)
+	switch *kind {
+	case "synthetic":
+		arrs, err = gen.Synthetic(gen.Config{
+			Seed:     *seed,
+			Duration: stream.Time(*durMs) * stream.Millisecond,
+			A:        gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: *pa},
+			B:        gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: *pb},
+		})
+	case "auction":
+		arrs, err = gen.Auction(gen.AuctionConfig{
+			Seed:            *seed,
+			Items:           *items,
+			OpenMean:        2 * stream.Millisecond,
+			AuctionLength:   60 * stream.Millisecond,
+			BidMean:         4 * stream.Millisecond,
+			UniqueOpenPunct: true,
+		})
+	default:
+		log.Fatalf("pjoingen: unknown kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gen.Validate(arrs); err != nil {
+		log.Fatalf("generated workload failed validation: %v", err)
+	}
+
+	var sides [2][]stream.Item
+	for _, a := range arrs {
+		sides[a.Port] = append(sides[a.Port], a.Item)
+	}
+	for i, path := range []string{*outA, *outB} {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stream.WriteItems(f, sides[i]); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := gen.Summarize(arrs)
+	fmt.Printf("wrote %s (%d tuples, %d puncts) and %s (%d tuples, %d puncts)\n",
+		*outA, st.Tuples[0], st.Puncts[0], *outB, st.Tuples[1], st.Puncts[1])
+}
+
+// runReplay loads two stream files and runs PJoin over their merged
+// timeline. Schemas are chosen by probing the files against the known
+// workload schemas (synthetic first, then auction).
+func runReplay(pathA, pathB string, purge int) error {
+	if pathA == "" || pathB == "" {
+		return fmt.Errorf("pjoingen: -replay needs -in-a and -in-b")
+	}
+	load := func(path string) ([]stream.Item, *stream.Schema, error) {
+		for _, sc := range []*stream.Schema{gen.SchemaA, gen.SchemaB, gen.OpenSchema, gen.BidSchema} {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			items, err := stream.ReadItems(f, sc)
+			f.Close()
+			if err == nil {
+				return items, sc, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("pjoingen: %s matches no known schema", path)
+	}
+	itemsA, scA, err := load(pathA)
+	if err != nil {
+		return err
+	}
+	itemsB, scB, err := load(pathB)
+	if err != nil {
+		return err
+	}
+
+	sink := &op.Collector{}
+	cfg := core.Config{
+		SchemaA: scA, SchemaB: scB,
+		AttrA: 0, AttrB: 0,
+		VerifyPunctuations: true,
+	}
+	cfg.Thresholds.Purge = purge
+	j, err := core.New(cfg, sink)
+	if err != nil {
+		return err
+	}
+
+	// Merge the two files by timestamp, restamping to keep timestamps
+	// strictly increasing across ports.
+	var last stream.Time
+	restamp := func(it stream.Item) stream.Item {
+		ts := it.Ts
+		if ts <= last {
+			ts = last + 1
+		}
+		last = ts
+		switch it.Kind {
+		case stream.KindTuple:
+			t := *it.Tuple
+			t.Ts = ts
+			return stream.TupleItem(&t)
+		case stream.KindPunct:
+			return stream.PunctItem(it.Punct, ts)
+		default:
+			return stream.EOSItem(ts)
+		}
+	}
+	ia, ib := 0, 0
+	maxState := 0
+	feed := func(port int, it stream.Item) error {
+		it = restamp(it)
+		if err := j.Process(port, it, it.Ts); err != nil {
+			return err
+		}
+		if s := j.StateTuples(); s > maxState {
+			maxState = s
+		}
+		return nil
+	}
+	for ia < len(itemsA) || ib < len(itemsB) {
+		switch {
+		case ib >= len(itemsB), ia < len(itemsA) && itemsA[ia].Ts <= itemsB[ib].Ts:
+			if err := feed(0, itemsA[ia]); err != nil {
+				return err
+			}
+			ia++
+		default:
+			if err := feed(1, itemsB[ib]); err != nil {
+				return err
+			}
+			ib++
+		}
+	}
+	for port, items := range [][]stream.Item{itemsA, itemsB} {
+		if len(items) == 0 || items[len(items)-1].Kind != stream.KindEOS {
+			if err := feed(port, stream.EOSItem(last+1)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		return err
+	}
+	m := j.Metrics()
+	fmt.Printf("replayed %d + %d items through PJoin-%d\n", len(itemsA), len(itemsB), purge)
+	fmt.Printf("results=%d puncts-out=%d purged=%d dropped-on-fly=%d\n",
+		m.TuplesOut, m.PunctsOut, m.Purged, m.DroppedOnFly)
+	fmt.Printf("max state=%d tuples, final state=%d\n", maxState, j.StateTuples())
+	return nil
+}

@@ -1,0 +1,96 @@
+// Nary: the paper's §6 n-ary extension — a three-way punctuated join.
+// An order-fulfilment scenario: Orders, Payments, and Shipments streams
+// joined on order_id. An order appears in the output once all three
+// events exist; punctuations (an order id will never appear again on a
+// stream) purge state and let results be certified complete.
+//
+// Run with: go run ./examples/nary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pjoin/internal/core"
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+	"pjoin/internal/vtime"
+)
+
+func main() {
+	orders := stream.MustSchema("Orders",
+		stream.Field{Name: "order_id", Kind: value.KindInt},
+		stream.Field{Name: "customer", Kind: value.KindString},
+	)
+	payments := stream.MustSchema("Payments",
+		stream.Field{Name: "order_id", Kind: value.KindInt},
+		stream.Field{Name: "amount", Kind: value.KindFloat},
+	)
+	shipments := stream.MustSchema("Shipments",
+		stream.Field{Name: "order_id", Kind: value.KindInt},
+		stream.Field{Name: "carrier", Kind: value.KindString},
+	)
+
+	sink := &op.Collector{}
+	join, err := core.NewNary(
+		[]*stream.Schema{orders, payments, shipments},
+		[]int{0, 0, 0},
+		sink,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := vtime.NewRNG(11)
+	customers := []string{"ada", "bob", "cho"}
+	carriers := []string{"ups", "dhl"}
+
+	var ts stream.Time
+	feed := func(port int, it stream.Item) {
+		if err := join.Process(port, it, it.Ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+	next := func() stream.Time { ts++; return ts }
+
+	// Each order flows through the three stages; each stream punctuates
+	// the order id once its stage is done (ids are keys per stream).
+	const nOrders = 8
+	maxState := 0
+	for id := int64(0); id < nOrders; id++ {
+		feed(0, stream.TupleItem(stream.MustTuple(orders, next(),
+			value.Int(id), value.Str(customers[rng.Intn(len(customers))]))))
+		feed(0, stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(id))), next()))
+
+		feed(1, stream.TupleItem(stream.MustTuple(payments, next(),
+			value.Int(id), value.Float(float64(10+rng.Intn(90))))))
+		feed(1, stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(id))), next()))
+
+		if s := join.StateTuples(); s > maxState {
+			maxState = s
+		}
+
+		// Shipment arrives last and completes the result.
+		feed(2, stream.TupleItem(stream.MustTuple(shipments, next(),
+			value.Int(id), value.Str(carriers[rng.Intn(len(carriers))]))))
+		feed(2, stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(id))), next()))
+	}
+
+	for port := 0; port < 3; port++ {
+		feed(port, stream.EOSItem(next()))
+	}
+	if err := join.Finish(next()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fulfilled orders (order x payment x shipment):")
+	for _, t := range sink.Tuples() {
+		fmt.Printf("  #%d %-3s paid %5.1f shipped via %s\n",
+			t.Values[0].IntVal(), t.Values[1].StrVal(), t.Values[3].FloatVal(), t.Values[5].StrVal())
+	}
+	fmt.Printf("\nresults=%d purged=%d dropped-on-fly=%d state=%d (max during run %d)\n",
+		join.ResultsOut(), join.Purged(), join.DroppedOnFly(), join.StateTuples(), maxState)
+	fmt.Printf("punctuations propagated: %d\n", len(sink.Puncts()))
+}

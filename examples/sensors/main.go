@@ -1,0 +1,121 @@
+// Sensors: joining two sensor-network streams (the paper's §1
+// motivation) with BOTH a sliding window and punctuations — the §6
+// extension. Readings and zone alerts are joined on the observation
+// epoch; a 50ms window bounds how stale a pair may be, while per-epoch
+// punctuations purge exactly and propagate downstream.
+//
+// Run with: go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pjoin/internal/core"
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+	"pjoin/internal/vtime"
+)
+
+func main() {
+	readings := stream.MustSchema("Readings",
+		stream.Field{Name: "epoch", Kind: value.KindInt},
+		stream.Field{Name: "sensor", Kind: value.KindString},
+		stream.Field{Name: "temp", Kind: value.KindFloat},
+	)
+	alerts := stream.MustSchema("Alerts",
+		stream.Field{Name: "epoch", Kind: value.KindInt},
+		stream.Field{Name: "zone", Kind: value.KindString},
+	)
+
+	sink := &op.Collector{}
+	cfg := core.Config{
+		SchemaA: readings, SchemaB: alerts,
+		AttrA: 0, AttrB: 0,
+		Window:             50 * stream.Millisecond,
+		VerifyPunctuations: true,
+	}
+	cfg.Thresholds.Purge = 1
+	cfg.Thresholds.PropagateCount = 2
+	join, err := core.New(cfg, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate 20 epochs of 10ms each: sensors report a few readings per
+	// epoch, occasionally a zone alert fires, and when an epoch ends both
+	// streams punctuate it — the base station knows no more data for that
+	// epoch will arrive.
+	rng := vtime.NewRNG(7)
+	sensors := []string{"s1", "s2", "s3", "s4"}
+	zones := []string{"north", "south"}
+	var ts stream.Time
+	stamp := func(at stream.Time) stream.Time {
+		if at <= ts {
+			at = ts + 1
+		}
+		ts = at
+		return ts
+	}
+	feed := func(port int, it stream.Item) {
+		if err := join.Process(port, it, it.Ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const epochLen = 10 * stream.Millisecond
+	maxState := 0
+	for epoch := int64(0); epoch < 20; epoch++ {
+		start := stream.Time(epoch) * epochLen
+		// Readings within the epoch.
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			at := stamp(start + stream.Time(rng.Int63n(int64(epochLen))))
+			t := stream.MustTuple(readings, at,
+				value.Int(epoch),
+				value.Str(sensors[rng.Intn(len(sensors))]),
+				value.Float(15+10*rng.Float64()),
+			)
+			feed(0, stream.TupleItem(t))
+		}
+		// Maybe an alert for this epoch.
+		if rng.Intn(3) != 0 {
+			at := stamp(start + stream.Time(rng.Int63n(int64(epochLen))))
+			t := stream.MustTuple(alerts, at,
+				value.Int(epoch), value.Str(zones[rng.Intn(len(zones))]))
+			feed(1, stream.TupleItem(t))
+		}
+		if s := join.StateTuples(); s > maxState {
+			maxState = s
+		}
+		// Epoch over: both streams punctuate it.
+		for _, pw := range []struct{ port, width int }{{0, readings.Width()}, {1, alerts.Width()}} {
+			p := punct.MustKeyOnly(pw.width, 0, punct.Const(value.Int(epoch)))
+			feed(pw.port, stream.PunctItem(p, stamp(start+epochLen)))
+		}
+	}
+	feed(0, stream.EOSItem(stamp(ts+1)))
+	feed(1, stream.EOSItem(stamp(ts+1)))
+	if err := join.Finish(ts + 1); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("alerts matched with readings: %d results\n", len(sink.Tuples()))
+	for _, t := range sink.Tuples()[:min(5, len(sink.Tuples()))] {
+		fmt.Printf("  epoch %2d sensor %s temp %.1f zone %s\n",
+			t.Values[0].IntVal(), t.Values[1].StrVal(), t.Values[2].FloatVal(), t.Values[4].StrVal())
+	}
+	fmt.Printf("punctuations propagated downstream: %d\n", len(sink.Puncts()))
+	fmt.Printf("max state during run: %d tuples; final state: %d\n", maxState, join.StateTuples())
+	m := join.Metrics()
+	fmt.Printf("purged=%d dropped-on-fly=%d\n", m.Purged, m.DroppedOnFly)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module pjoin
+
+go 1.22

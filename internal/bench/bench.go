@@ -1,0 +1,226 @@
+// Package bench defines the reproduction experiments: one runnable
+// experiment per table and figure of the paper's evaluation (§4), plus
+// ablations for the design choices DESIGN.md calls out. Each experiment
+// generates its workload with internal/gen, runs the operators under the
+// cost-model simulator (internal/sim), and reports the same series the
+// paper's chart plots.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pjoin/internal/core"
+	"pjoin/internal/gen"
+	"pjoin/internal/metrics"
+	"pjoin/internal/op"
+	"pjoin/internal/sim"
+	"pjoin/internal/stream"
+	"pjoin/internal/xjoin"
+)
+
+// RunConfig controls an experiment run.
+type RunConfig struct {
+	// Seed selects the workload randomness (default 1).
+	Seed uint64
+	// Duration overrides the experiment's default virtual horizon.
+	Duration stream.Time
+	// Quick shortens the run for tests and smoke benches.
+	Quick bool
+}
+
+func (rc RunConfig) seed() uint64 {
+	if rc.Seed == 0 {
+		return 1
+	}
+	return rc.Seed
+}
+
+func (rc RunConfig) horizon(def stream.Time) stream.Time {
+	if rc.Duration > 0 {
+		return rc.Duration
+	}
+	if rc.Quick {
+		return def / 10
+	}
+	return def
+}
+
+// Report is an experiment's outcome: chart series (what the paper's
+// figure plots) plus a summary table.
+type Report struct {
+	ID     string
+	Title  string
+	Paper  string // the shape the paper reports
+	Series []metrics.Series
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the report (table, chart, notes) to w.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if r.Paper != "" {
+		if _, err := fmt.Fprintf(w, "paper: %s\n\n", r.Paper); err != nil {
+			return err
+		}
+	}
+	if len(r.Rows) > 0 {
+		if err := metrics.Table(w, r.Rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Series) > 0 {
+		if err := metrics.Chart(w, 72, 16, r.Series...); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(RunConfig) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q; try one of %v", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// --- shared run helpers ---
+
+// pjoinFor builds a PJoin over the synthetic schemas with the given
+// purge threshold (1 = eager) and otherwise experiment-default settings.
+func pjoinFor(purge int, mutate func(*core.Config)) (*core.PJoin, error) {
+	cfg := core.Config{
+		SchemaA: gen.SchemaA, SchemaB: gen.SchemaB,
+		AttrA: gen.KeyAttr, AttrB: gen.KeyAttr,
+	}
+	cfg.Thresholds.Purge = purge
+	cfg.DisablePropagation = true // most experiments measure join-only behaviour
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.New(cfg, &op.Collector{})
+}
+
+func xjoinFor() (*xjoin.XJoin, error) {
+	return xjoin.New(xjoin.Config{
+		SchemaA: gen.SchemaA, SchemaB: gen.SchemaB,
+		AttrA: gen.KeyAttr, AttrB: gen.KeyAttr,
+	}, &op.Collector{})
+}
+
+// simulate runs the join over the workload with default costs and a
+// sampling rate that yields a readable chart.
+func simulate(j sim.MeteredJoin, arrs []gen.Arrival, horizon stream.Time) (*sim.Result, error) {
+	sampleEvery := horizon / 60
+	if sampleEvery < stream.Millisecond {
+		sampleEvery = stream.Millisecond
+	}
+	return sim.Run(j, arrs, sim.Config{SampleEvery: sampleEvery})
+}
+
+// stateSeries extracts the join-state-size-over-time series (the y axis
+// of the paper's memory-overhead figures).
+func stateSeries(name string, res *sim.Result) metrics.Series {
+	s := metrics.Series{Name: name}
+	for _, p := range res.Samples {
+		s.Add(float64(p.T)/1e6, float64(p.StateTuples))
+	}
+	return s
+}
+
+// outputSeries extracts the cumulative-output-tuples series (the y axis
+// of the paper's output-rate figures).
+func outputSeries(name string, res *sim.Result) metrics.Series {
+	s := metrics.Series{Name: name}
+	for _, p := range res.Samples {
+		s.Add(float64(p.T)/1e6, float64(p.TuplesOut))
+	}
+	return s
+}
+
+// punctOutSeries extracts the cumulative propagated-punctuation series
+// (Fig. 14's y axis).
+func punctOutSeries(name string, res *sim.Result) metrics.Series {
+	s := metrics.Series{Name: name}
+	for _, p := range res.Samples {
+		s.Add(float64(p.T)/1e6, float64(p.PunctsOut))
+	}
+	return s
+}
+
+// symmetricWorkload builds the standard §4 workload: both streams at
+// 2 ms mean tuple inter-arrival, punctuations every punctMean tuples.
+func symmetricWorkload(rc RunConfig, def stream.Time, punctMean float64) ([]gen.Arrival, stream.Time, error) {
+	horizon := rc.horizon(def)
+	arrs, err := gen.Synthetic(gen.Config{
+		Seed:     rc.seed(),
+		Duration: horizon,
+		A:        gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: punctMean},
+		B:        gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: punctMean},
+	})
+	return arrs, horizon, err
+}
+
+// asymmetricWorkload builds the §4.3 workload: A punctuates every
+// punctA tuples with per-key constant punctuations; B punctuates every
+// punctB tuples with batched range punctuations, so a slower B rate
+// means coarser punctuations (not an unbounded backlog) — see
+// gen.SideSpec.Batched.
+func asymmetricWorkload(rc RunConfig, def stream.Time, punctA, punctB float64, window int) ([]gen.Arrival, stream.Time, error) {
+	horizon := rc.horizon(def)
+	arrs, err := gen.Synthetic(gen.Config{
+		Seed:       rc.seed(),
+		Duration:   horizon,
+		WindowKeys: window,
+		A:          gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: punctA},
+		B:          gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: punctB, Batched: true},
+	})
+	return arrs, horizon, err
+}
+
+// simJoin is the operator contract the experiment helpers drive.
+type simJoin = sim.MeteredJoin
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"pjoin/internal/core"
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+// The smallest complete PJoin run: two tuples join, punctuations purge
+// the state and propagate at finish.
+func Example() {
+	a := stream.MustSchema("A",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "x", Kind: value.KindString},
+	)
+	b := stream.MustSchema("B",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "y", Kind: value.KindString},
+	)
+	sink := &op.Collector{}
+	cfg := core.Config{SchemaA: a, SchemaB: b} // join on attribute 0, eager purge
+	cfg.Thresholds.PropagateCount = 2
+	j, err := core.New(cfg, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feed := func(port int, it stream.Item) {
+		if err := j.Process(port, it, it.Ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+	feed(0, stream.TupleItem(stream.MustTuple(a, 1, value.Int(7), value.Str("left"))))
+	feed(1, stream.TupleItem(stream.MustTuple(b, 2, value.Int(7), value.Str("right"))))
+	// Both streams promise they are done with key 7.
+	feed(1, stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(7))), 3))
+	feed(0, stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(7))), 4))
+	feed(0, stream.EOSItem(5))
+	feed(1, stream.EOSItem(6))
+	if err := j.Finish(7); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, it := range sink.Items {
+		fmt.Println(it.Kind, it)
+	}
+	fmt.Println("state:", j.StateTuples())
+	// Output:
+	// tuple (7, "left", 7, "right")@2
+	// punct <7, *, *, *>@4
+	// punct <*, *, 7, *>@4
+	// eos EOS@7
+	// state: 0
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+	"pjoin/internal/vtime"
+)
+
+var schemaC = stream.MustSchema("C",
+	stream.Field{Name: "k", Kind: value.KindInt},
+	stream.Field{Name: "pc", Kind: value.KindString},
+)
+
+func threeWay(t *testing.T, sink op.Emitter) *NaryPJoin {
+	t.Helper()
+	j, err := NewNary(
+		[]*stream.Schema{schemaA, schemaB, schemaC},
+		[]int{0, 0, 0}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func tupC(key int64, payload string, ts stream.Time) feedItem {
+	return feedItem{2, stream.TupleItem(stream.MustTuple(schemaC, ts, value.Int(key), value.Str(payload)))}
+}
+
+func runNary(t *testing.T, j *NaryPJoin, items []feedItem) {
+	t.Helper()
+	var last stream.Time
+	for _, fi := range items {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatalf("Process(%d, %v): %v", fi.port, fi.item, err)
+		}
+		last = fi.item.Ts
+	}
+	for port := 0; port < j.NumPorts(); port++ {
+		last++
+		if err := j.Process(port, stream.EOSItem(last), last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaryValidation(t *testing.T) {
+	sink := &op.Collector{}
+	if _, err := NewNary([]*stream.Schema{schemaA}, []int{0}, sink); err == nil {
+		t.Error("single input should error")
+	}
+	if _, err := NewNary([]*stream.Schema{schemaA, schemaB}, []int{0}, sink); err == nil {
+		t.Error("attr count mismatch should error")
+	}
+	if _, err := NewNary([]*stream.Schema{schemaA, nil}, []int{0, 0}, sink); err == nil {
+		t.Error("nil schema should error")
+	}
+	if _, err := NewNary([]*stream.Schema{schemaA, schemaB}, []int{0, 9}, sink); err == nil {
+		t.Error("attr range should error")
+	}
+	if _, err := NewNary([]*stream.Schema{schemaA, schemaB}, []int{0, 1}, sink); err == nil {
+		t.Error("kind mismatch should error")
+	}
+	if _, err := NewNary([]*stream.Schema{schemaA, schemaB}, []int{0, 0}, nil); err == nil {
+		t.Error("nil emitter should error")
+	}
+}
+
+func TestNaryThreeWayJoin(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	runNary(t, j, []feedItem{
+		tupA(1, "a1", 1),
+		tupB(1, "b1", 2),
+		tupC(1, "c1", 3), // completes (a1,b1,c1)
+		tupA(1, "a2", 4), // completes (a2,b1,c1)
+		tupC(2, "c2", 5), // no partners
+	})
+	got := sink.Tuples()
+	if len(got) != 2 {
+		t.Fatalf("results = %d, want 2", len(got))
+	}
+	for _, r := range got {
+		if r.Width() != 6 {
+			t.Fatalf("result width = %d", r.Width())
+		}
+		// Stream order preserved: A fields, then B, then C.
+		if r.Values[3].StrVal() != "b1" || r.Values[5].StrVal() != "c1" {
+			t.Errorf("result order wrong: %v", r)
+		}
+	}
+	if j.ResultsOut() != 2 {
+		t.Errorf("ResultsOut = %d", j.ResultsOut())
+	}
+}
+
+func TestNaryCrossProductCount(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	var items []feedItem
+	ts := stream.Time(0)
+	add := func(fi feedItem) { items = append(items, fi) }
+	for i := 0; i < 2; i++ {
+		ts++
+		add(tupA(7, fmt.Sprintf("a%d", i), ts))
+	}
+	for i := 0; i < 3; i++ {
+		ts++
+		add(tupB(7, fmt.Sprintf("b%d", i), ts))
+	}
+	for i := 0; i < 4; i++ {
+		ts++
+		add(tupC(7, fmt.Sprintf("c%d", i), ts))
+	}
+	runNary(t, j, items)
+	if got := len(sink.Tuples()); got != 2*3*4 {
+		t.Errorf("results = %d, want 24", got)
+	}
+}
+
+func TestNaryPurgeNeedsEmptyState(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	seq := []feedItem{
+		tupA(1, "a1", 1),
+		tupB(1, "b1", 2),
+		tupC(1, "c1", 3),
+		// A punctuates key 1 while A's state still holds a1: b1 and c1
+		// must NOT be purged — they can still join with a1 and a future
+		// B or C tuple.
+		punctFor(0, 1, 4),
+	}
+	for _, fi := range seq {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.StateTuples(); got != 3 {
+		t.Fatalf("state = %d, want 3 (nothing purgeable yet)", got)
+	}
+	// A future B tuple for key 1 must still produce a result (with a1, c1).
+	before := len(sink.Tuples())
+	fi := tupB(1, "b2", 5)
+	if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Tuples()) - before; got != 1 {
+		t.Errorf("late B tuple produced %d results, want 1", got)
+	}
+}
+
+func TestNaryPurgeWhenValueDead(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	seq := []feedItem{
+		tupB(1, "b1", 1),
+		tupC(1, "c1", 2),
+		// A punctuates key 1 with NO a-tuple in state: key 1 can never
+		// complete a result again; b1 and c1 are purged.
+		punctFor(0, 1, 3),
+	}
+	for _, fi := range seq {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.StateTuples(); got != 0 {
+		t.Errorf("state = %d, want 0", got)
+	}
+	if j.Purged() != 2 {
+		t.Errorf("Purged = %d", j.Purged())
+	}
+}
+
+func TestNaryDropOnTheFly(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	seq := []feedItem{
+		punctFor(0, 5, 1), // A closes key 5, state A empty
+		tupB(5, "b1", 2),  // dead value: dropped on the fly
+	}
+	for _, fi := range seq {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.StateTuples() != 0 || j.DroppedOnFly() != 1 {
+		t.Errorf("state=%d dropped=%d", j.StateTuples(), j.DroppedOnFly())
+	}
+}
+
+func TestNaryPunctuationViolationDetected(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	if err := j.Process(0, punctFor(0, 5, 1).item, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Process(0, tupA(5, "bad", 2).item, 2); err == nil {
+		t.Error("own-stream punctuation violation should error")
+	}
+}
+
+func TestNaryPropagation(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	seq := []feedItem{
+		tupA(1, "a1", 1),
+		tupB(1, "b1", 2),
+		tupC(1, "c1", 3),
+		punctFor(1, 1, 4), // B closes key 1: A state still holds a1... purges nothing for A? b1 dead? For B's punct: purge others where dead.
+		punctFor(2, 1, 5), // C closes key 1
+		punctFor(0, 1, 6), // A closes key 1: everything for key 1 is dead
+	}
+	for _, fi := range seq {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.StateTuples(); got != 0 {
+		t.Errorf("state = %d after all three punctuations", got)
+	}
+	// All three punctuations become propagable once their own states
+	// hold no matching tuples; pull them.
+	if err := j.RequestPropagation(7); err != nil {
+		t.Fatal(err)
+	}
+	ps := sink.Puncts()
+	if len(ps) != 3 {
+		t.Fatalf("propagated %d punctuations, want 3", len(ps))
+	}
+	seen := map[int]bool{}
+	for _, pi := range ps {
+		if pi.Punct.Width() != 6 {
+			t.Fatalf("output punctuation width = %d", pi.Punct.Width())
+		}
+		// Each punctuation constrains its own stream's join column.
+		for _, pos := range []int{0, 2, 4} {
+			if pi.Punct.PatternAt(pos).Kind() == punct.Constant {
+				seen[pos] = true
+			}
+		}
+	}
+	for _, pos := range []int{0, 2, 4} {
+		if !seen[pos] {
+			t.Errorf("no punctuation constrained join column %d", pos)
+		}
+	}
+}
+
+func TestNaryWidthMismatchPunct(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	p := stream.PunctItem(punct.MustNew(punct.Const(value.Int(1))), 1)
+	if err := j.Process(0, p, 1); err == nil {
+		t.Error("narrow punctuation should error")
+	}
+}
+
+func TestNaryProtocol(t *testing.T) {
+	sink := &op.Collector{}
+	j := threeWay(t, sink)
+	if err := j.Finish(1); err == nil {
+		t.Error("Finish before EOS should error")
+	}
+	if err := j.Process(5, tupA(1, "x", 1).item, 1); err == nil {
+		t.Error("bad port should error")
+	}
+	for p := 0; p < 3; p++ {
+		if err := j.Process(p, stream.EOSItem(stream.Time(p+1)), stream.Time(p+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Process(0, stream.EOSItem(9), 9); err == nil {
+		t.Error("dup EOS should error")
+	}
+	if err := j.Finish(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Finish(11); err == nil {
+		t.Error("double Finish should error")
+	}
+	if did, _ := j.OnIdle(12); did {
+		t.Error("nary has no idle work")
+	}
+	if j.Name() != "pjoin3" || j.NumPorts() != 3 || j.OutSchema().Width() != 6 {
+		t.Error("metadata wrong")
+	}
+}
+
+// Differential test: a random 3-way punctuated workload must produce the
+// exact 3-way equi-join (computed by a nested-loop oracle), regardless
+// of purging and drop-on-the-fly.
+func TestNaryDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := vtime.NewRNG(seed)
+		const nKeys = 6
+		var items []feedItem
+		var all [3][]*stream.Tuple
+		counts := [3][nKeys]int{}
+		var planned [3][nKeys]int
+		total := 90
+		for i := 0; i < total; i++ {
+			s := rng.Intn(3)
+			k := rng.Intn(nKeys)
+			planned[s][k]++
+		}
+		ts := stream.Time(0)
+		emitted := [3][nKeys]int{}
+		for i := 0; i < total; i++ {
+			// Pick a stream/key with remaining quota.
+			var s, k int
+			for {
+				s, k = rng.Intn(3), rng.Intn(nKeys)
+				if emitted[s][k] < planned[s][k] {
+					break
+				}
+			}
+			emitted[s][k]++
+			ts++
+			var fi feedItem
+			payload := fmt.Sprintf("s%dk%d#%d", s, k, emitted[s][k])
+			switch s {
+			case 0:
+				fi = tupA(int64(k), payload, ts)
+			case 1:
+				fi = tupB(int64(k), payload, ts)
+			default:
+				fi = tupC(int64(k), payload, ts)
+			}
+			all[s] = append(all[s], fi.item.Tuple)
+			counts[s][k]++
+			items = append(items, fi)
+			// Punctuate exhausted keys sometimes.
+			if emitted[s][k] == planned[s][k] && rng.Intn(2) == 0 {
+				ts++
+				items = append(items, feedItem{s, stream.PunctItem(
+					punct.MustKeyOnly(2, 0, punct.Const(value.Int(int64(k)))), ts)})
+			}
+		}
+		sink := &op.Collector{}
+		j := threeWay(t, sink)
+		runNary(t, j, items)
+
+		// Oracle: full nested-loop 3-way join count per key.
+		want := 0
+		for k := 0; k < nKeys; k++ {
+			want += counts[0][k] * counts[1][k] * counts[2][k]
+		}
+		if got := len(sink.Tuples()); got != want {
+			t.Errorf("seed %d: results = %d, want %d", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,693 @@
+// Package core implements PJoin, the punctuation-exploiting stream join
+// operator of "Joining Punctuated Streams" (EDBT 2004). PJoin is a
+// binary hash-based equi-join that uses punctuations embedded in its
+// input streams to purge no-longer-useful tuples from its state (purge
+// rules, paper eq. 1) and to propagate punctuations to downstream
+// operators (propagation rules, eq. 2 / Theorem 1).
+//
+// The operator is assembled from the paper's six components — memory
+// join, disk join, state relocation, state purge, punctuation index
+// build, and punctuation propagation — wired together through the
+// event-driven framework of internal/event (§3.6): the memory join is
+// the processing path; the other components are listeners invoked when
+// the monitor detects a threshold being reached.
+package core
+
+import (
+	"fmt"
+
+	"pjoin/internal/event"
+	"pjoin/internal/joinbase"
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/store"
+	"pjoin/internal/stream"
+)
+
+// Config configures a PJoin instance.
+type Config struct {
+	// SchemaA and SchemaB describe the two inputs (ports 0 and 1).
+	SchemaA, SchemaB *stream.Schema
+	// AttrA and AttrB are the join attribute positions in each schema.
+	// The attributes must have identical kinds.
+	AttrA, AttrB int
+	// OutName names the result schema (default "join").
+	OutName string
+	// NumBuckets is the hash table size per state (default 64).
+	NumBuckets int
+	// SpillA and SpillB provide secondary storage for the two states
+	// (default: fresh in-memory simulated disks).
+	SpillA, SpillB store.SpillStore
+	// Thresholds are the monitor's initial runtime parameters. The zero
+	// value disables relocation, disk-join activation and push-mode
+	// propagation, and sets eager purge (threshold 1).
+	Thresholds event.Thresholds
+	// EagerIndex selects eager punctuation index building (build on
+	// every punctuation arrival) instead of the default lazy building
+	// (build only when propagation is invoked). §3.5.
+	EagerIndex bool
+	// DisablePropagation turns the propagation machinery off entirely;
+	// punctuations still purge state but are never forwarded. Most of
+	// the paper's experiments run in this mode.
+	DisablePropagation bool
+	// DisableDropOnTheFly disables the optimisation of never inserting
+	// a tuple that already matches the opposite punctuation set (§4.3).
+	DisableDropOnTheFly bool
+	// DisablePurge turns the state-purge component off (for ablation:
+	// PJoin then keeps state like XJoin).
+	DisablePurge bool
+	// VerifyPunctuations enables checking the paper's nested-or-disjoint
+	// assumption on the join attribute and that no tuple arrives after a
+	// punctuation it matches (stream integrity).
+	VerifyPunctuations bool
+	// DisableDiskPurge stops disk passes from purging disk-resident
+	// tuples that match the opposite punctuation set (purging them is
+	// the default behaviour of the paper's disk join; disable for
+	// ablation).
+	DisableDiskPurge bool
+	// CompactSets periodically merges not-yet-indexed punctuations whose
+	// join-attribute patterns union into one pattern (e.g. runs of
+	// per-key constants become one range). This keeps the punctuation
+	// sets — which purge and drop-on-the-fly consult — small in long
+	// runs without propagation. An extension beyond the paper; see
+	// punct.Set.Compact.
+	CompactSets bool
+	// Window, when positive, adds time-based sliding-window semantics on
+	// top of the punctuation machinery (paper §6, "extension for
+	// supporting sliding window"): a pair joins only if the older
+	// tuple's timestamp is within Window of the newer one's, and expired
+	// tuples are invalidated during probing — bucket order is arrival
+	// order, so invalidation stops at the first in-window tuple. Window
+	// mode is memory-only: it cannot be combined with a memory threshold
+	// (relocation), since the window already bounds the state.
+	Window stream.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.OutName == "" {
+		c.OutName = "join"
+	}
+	if c.NumBuckets == 0 {
+		c.NumBuckets = 64
+	}
+	if c.SpillA == nil {
+		c.SpillA = store.NewMemSpill()
+	}
+	if c.SpillB == nil {
+		c.SpillB = store.NewMemSpill()
+	}
+	if c.Thresholds.Purge == 0 && !c.DisablePurge {
+		c.Thresholds.Purge = 1 // eager purge is the default strategy
+	}
+}
+
+// PJoin is the punctuation-exploiting stream join operator. It
+// implements op.Operator with two input ports: port 0 = stream A,
+// port 1 = stream B.
+type PJoin struct {
+	cfg   Config
+	base  *joinbase.Base
+	out   op.Emitter
+	reg   *event.Registry
+	mon   *event.Monitor
+	psets [2]*punct.Set
+	attrs [2]int
+	outSc *stream.Schema
+
+	// diskPending, per side: punctuation entries whose index build ran
+	// while that side's state had disk-resident tuples; their counts may
+	// under-count until a disk pass indexes the disk portion, so they
+	// must not propagate before then.
+	diskPending [2]map[punct.PID]bool
+
+	now      stream.Time
+	eos      [2]bool
+	finished bool
+}
+
+var _ op.Operator = (*PJoin)(nil)
+
+// New builds a PJoin with its event-listener registry configured from
+// cfg (paper Table 1) and bound to out for results and propagated
+// punctuations.
+func New(cfg Config, out op.Emitter) (*PJoin, error) {
+	if cfg.SchemaA == nil || cfg.SchemaB == nil {
+		return nil, fmt.Errorf("core: PJoin needs both input schemas")
+	}
+	if out == nil {
+		return nil, fmt.Errorf("core: PJoin needs an output emitter")
+	}
+	if cfg.AttrA < 0 || cfg.AttrA >= cfg.SchemaA.Width() {
+		return nil, fmt.Errorf("core: join attribute A %d out of range for %s", cfg.AttrA, cfg.SchemaA)
+	}
+	if cfg.AttrB < 0 || cfg.AttrB >= cfg.SchemaB.Width() {
+		return nil, fmt.Errorf("core: join attribute B %d out of range for %s", cfg.AttrB, cfg.SchemaB)
+	}
+	ka := cfg.SchemaA.FieldAt(cfg.AttrA).Kind
+	kb := cfg.SchemaB.FieldAt(cfg.AttrB).Kind
+	if ka != kb {
+		return nil, fmt.Errorf("core: join attribute kinds differ: %s vs %s", ka, kb)
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("core: negative window %d", cfg.Window)
+	}
+	if cfg.Window > 0 && cfg.Thresholds.MemoryBytes > 0 {
+		return nil, fmt.Errorf("core: window mode is memory-only; clear Thresholds.MemoryBytes")
+	}
+	cfg.setDefaults()
+
+	outSc, err := cfg.SchemaA.Concat(cfg.OutName, cfg.SchemaB)
+	if err != nil {
+		return nil, err
+	}
+	stA, err := store.NewState(cfg.SchemaA.Name(), cfg.AttrA, cfg.NumBuckets, cfg.SpillA)
+	if err != nil {
+		return nil, err
+	}
+	stB, err := store.NewState(cfg.SchemaB.Name(), cfg.AttrB, cfg.NumBuckets, cfg.SpillB)
+	if err != nil {
+		return nil, err
+	}
+
+	j := &PJoin{
+		cfg:   cfg,
+		out:   out,
+		attrs: [2]int{cfg.AttrA, cfg.AttrB},
+		outSc: outSc,
+		diskPending: [2]map[punct.PID]bool{
+			make(map[punct.PID]bool), make(map[punct.PID]bool),
+		},
+	}
+	j.base, err = joinbase.New(stA, stB, outSc, func(t *stream.Tuple) error {
+		return out.Emit(stream.TupleItem(t))
+	})
+	if err != nil {
+		return nil, err
+	}
+	j.psets[0] = punct.NewKeyedSet(cfg.AttrA, cfg.VerifyPunctuations)
+	j.psets[1] = punct.NewKeyedSet(cfg.AttrB, cfg.VerifyPunctuations)
+
+	if err := j.buildRegistry(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// buildRegistry assembles the event-listener registry (paper Table 1)
+// from the configuration.
+func (j *PJoin) buildRegistry() error {
+	j.reg = event.NewRegistry()
+
+	purge := event.ListenerFunc{ID: "state-purge", Fn: func(e event.Event) error {
+		side := e.Arg.(event.Side)
+		if err := j.purgeState(int(side.Opposite()), e.At); err != nil {
+			return err
+		}
+		if j.cfg.CompactSets {
+			j.psets[side].Compact(j.attrs[side])
+		}
+		return nil
+	}}
+	relocate := event.ListenerFunc{ID: "state-relocation", Fn: func(e event.Event) error {
+		return j.relocate(e.At)
+	}}
+	diskJoin := event.ListenerFunc{ID: "disk-join", Fn: func(e event.Event) error {
+		return j.diskPass(e.At)
+	}}
+	indexBuild := event.ListenerFunc{ID: "index-build", Fn: func(e event.Event) error {
+		j.indexBuild(0)
+		j.indexBuild(1)
+		return nil
+	}}
+	propagate := event.ListenerFunc{ID: "punctuation-propagation", Fn: func(e event.Event) error {
+		return j.propagate(e.At)
+	}}
+
+	if !j.cfg.DisablePurge {
+		if err := j.reg.Register(event.PurgeThresholdReach, nil, "purge threshold reached", purge); err != nil {
+			return err
+		}
+	}
+	if err := j.reg.Register(event.StateFull, nil, "memory threshold reached", relocate); err != nil {
+		return err
+	}
+	if err := j.reg.Register(event.DiskJoinActivate, nil, "inputs stalled", diskJoin); err != nil {
+		return err
+	}
+	if err := j.reg.Register(event.StreamEmpty, nil, "both inputs ended", diskJoin); err != nil {
+		return err
+	}
+
+	if !j.cfg.DisablePropagation {
+		// Lazy index building couples index build with propagation;
+		// eager building runs on punctuation arrival instead (§3.5/§3.6).
+		propListeners := []event.Listener{indexBuild, propagate}
+		if j.cfg.EagerIndex {
+			propListeners = []event.Listener{propagate}
+		}
+		for _, k := range []event.Kind{event.PropagateCountReach, event.PropagateTimeExpire, event.PropagateRequest} {
+			if err := j.reg.Register(k, nil, "", propListeners...); err != nil {
+				return err
+			}
+		}
+		if err := j.reg.Register(event.StreamEmpty, nil, "both inputs ended", propListeners...); err != nil {
+			return err
+		}
+	}
+
+	mon, err := event.NewMonitor(j.reg, j.cfg.Thresholds)
+	if err != nil {
+		return err
+	}
+	j.mon = mon
+	return nil
+}
+
+// Name implements op.Operator.
+func (j *PJoin) Name() string { return "pjoin" }
+
+// NumPorts implements op.Operator.
+func (j *PJoin) NumPorts() int { return 2 }
+
+// OutSchema implements op.Operator.
+func (j *PJoin) OutSchema() *stream.Schema { return j.outSc }
+
+// Registry exposes the event-listener registry for runtime
+// reconfiguration and Table-1-style introspection.
+func (j *PJoin) Registry() *event.Registry { return j.reg }
+
+// Monitor exposes the monitor so thresholds can be changed at runtime.
+func (j *PJoin) Monitor() *event.Monitor { return j.mon }
+
+// Metrics returns the work counters accumulated so far.
+func (j *PJoin) Metrics() joinbase.Metrics { return j.base.M }
+
+// StateStats returns the size accounting of both states.
+func (j *PJoin) StateStats() (a, b store.Stats) {
+	return j.base.States[0].Stats(), j.base.States[1].Stats()
+}
+
+// StateTuples returns the total number of tuples currently held in the
+// join state (both sides, memory + purge buffers + disk) — the metric
+// the paper's memory-overhead charts plot.
+func (j *PJoin) StateTuples() int {
+	a, b := j.StateStats()
+	return a.TotalTuples() + b.TotalTuples()
+}
+
+// PunctSetSizes returns the number of punctuations currently held per
+// side (arrived but not yet propagated).
+func (j *PJoin) PunctSetSizes() (a, b int) {
+	return j.psets[0].Len(), j.psets[1].Len()
+}
+
+// Process implements op.Operator. Items on each port must have strictly
+// increasing timestamps, and timestamps must be unique across ports (the
+// executor and simulator both guarantee this); the duplicate-avoidance
+// logic of the disk join relies on it.
+func (j *PJoin) Process(port int, it stream.Item, now stream.Time) error {
+	if err := op.ValidatePort(j.Name(), port, 2); err != nil {
+		return err
+	}
+	if j.finished {
+		return fmt.Errorf("core: pjoin: Process after Finish")
+	}
+	j.now = maxTime(j.now, now)
+	switch it.Kind {
+	case stream.KindTuple:
+		return j.processTuple(port, it.Tuple)
+	case stream.KindPunct:
+		return j.processPunct(port, it.Punct, it.Ts)
+	case stream.KindEOS:
+		if j.eos[port] {
+			return fmt.Errorf("core: pjoin: duplicate EOS on port %d", port)
+		}
+		j.eos[port] = true
+		if j.eos[0] && j.eos[1] {
+			return j.mon.StreamsEnded(j.now)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: pjoin: unknown item kind %v", it.Kind)
+	}
+}
+
+// processTuple is the memory join (§3.2): probe the opposite state's
+// memory-resident portion, emit matches, then insert the tuple into its
+// own state — unless the opposite punctuation set already rules out any
+// future partner, in which case the tuple is dropped on the fly.
+func (j *PJoin) processTuple(s int, t *stream.Tuple) error {
+	j.base.M.TuplesIn[s]++
+	if err := j.mon.TupleArrived(t.Ts); err != nil {
+		return err
+	}
+	key := t.Values[j.attrs[s]]
+
+	if j.cfg.VerifyPunctuations && j.psets[s].SetMatchAttr(j.attrs[s], key) {
+		return fmt.Errorf("core: pjoin: stream %d violates punctuation semantics: tuple %s matches an earlier punctuation",
+			s, t)
+	}
+
+	// Sliding-window invalidation (§6): expire the out-of-window prefix
+	// of both buckets this key touches before probing, so the probe only
+	// sees in-window partners and the state stays bounded by the window.
+	if j.cfg.Window > 0 && t.Ts > j.cfg.Window {
+		cutoff := t.Ts - j.cfg.Window
+		bucket := j.base.States[s].BucketOf(key)
+		for side := 0; side < 2; side++ {
+			for _, sd := range j.base.States[side].ExpireMemPrefix(bucket, cutoff) {
+				j.discard(side, sd)
+			}
+		}
+	}
+
+	if _, err := j.base.ProbeOpposite(s, t); err != nil {
+		return err
+	}
+
+	// Drop-on-the-fly (§4.3): the opposite punctuation set promises no
+	// future opposite tuple matches this key, so the tuple need never
+	// enter the state — unless the opposite state still has
+	// disk-resident tuples in this bucket, which this tuple has not yet
+	// joined against; then it parks in the purge buffer until the next
+	// disk pass.
+	if !j.cfg.DisableDropOnTheFly && !j.cfg.DisablePurge &&
+		j.psets[1-s].SetMatchAttr(j.attrs[1-s], key) {
+		own := j.base.States[s]
+		bucket := own.BucketOf(key)
+		if j.base.States[1-s].HasDisk(bucket) {
+			st := &store.StoredTuple{T: t, PID: punct.NoPID, DTS: store.InMemory}
+			own.AddToPurgeBuffer(bucket, st, t.Ts)
+		} else {
+			j.base.M.DroppedOnFly++
+		}
+		return nil
+	}
+
+	if _, err := j.base.States[s].Insert(t); err != nil {
+		return err
+	}
+	return j.mon.StateSize(j.base.States[0].MemBytes()+j.base.States[1].MemBytes(), t.Ts)
+}
+
+// processPunct records a punctuation into its side's set and lets the
+// monitor fire whatever components are due (state purge, index build,
+// propagation).
+func (j *PJoin) processPunct(s int, p punct.Punctuation, ts stream.Time) error {
+	j.base.M.PunctsIn[s]++
+	if p.IsEmpty() {
+		// An empty punctuation matches nothing: it carries no
+		// information and is dropped without counting toward thresholds.
+		return nil
+	}
+	if p.Width() != j.schema(s).Width() {
+		return fmt.Errorf("core: pjoin: punctuation %s has width %d, stream %d schema is %s",
+			p, p.Width(), s, j.schema(s))
+	}
+	if _, err := j.psets[s].Add(p); err != nil {
+		return err
+	}
+	if j.cfg.EagerIndex && !j.cfg.DisablePropagation {
+		j.indexBuild(s)
+	}
+	return j.mon.PunctArrived(event.Side(s), ts)
+}
+
+func (j *PJoin) schema(s int) *stream.Schema {
+	if s == 0 {
+		return j.cfg.SchemaA
+	}
+	return j.cfg.SchemaB
+}
+
+// purgeState applies the purge rules (eq. 1) to state `victim`: every
+// tuple whose join value matches the opposite side's punctuation set is
+// removed. Tuples that may still owe left-over joins against the
+// opposite state's disk-resident portion go to the purge buffer instead
+// of being freed (§3.1); the disk join clears them.
+func (j *PJoin) purgeState(victim int, now stream.Time) error {
+	j.base.M.PurgeRuns++
+	pset := j.psets[1-victim] // punctuations from the opposite stream
+	st := j.base.States[victim]
+	opp := j.base.States[1-victim]
+	attr := j.attrs[victim]
+	for i := 0; i < st.NumBuckets(); i++ {
+		bucketLen := len(st.Bucket(i).Mem)
+		if bucketLen == 0 {
+			continue
+		}
+		j.base.M.PurgeScanned += int64(bucketLen)
+		removed := st.FilterMem(i, func(sd *store.StoredTuple) bool {
+			return pset.SetMatchAttr(j.attrs[1-victim], sd.T.Values[attr])
+		})
+		if len(removed) == 0 {
+			continue
+		}
+		if opp.HasDisk(i) {
+			for _, sd := range removed {
+				st.AddToPurgeBuffer(i, sd, now)
+			}
+		} else {
+			for _, sd := range removed {
+				j.discard(victim, sd)
+			}
+			j.base.M.Purged += int64(len(removed))
+		}
+	}
+	return nil
+}
+
+// discard finalises a tuple's removal from the state: its punctuation's
+// match count (own side's index) is decremented, possibly making that
+// punctuation propagable.
+func (j *PJoin) discard(side int, sd *store.StoredTuple) {
+	if sd.PID == punct.NoPID {
+		return
+	}
+	if e := j.psets[side].Get(sd.PID); e != nil && e.Count > 0 {
+		e.Count--
+	}
+}
+
+// indexBuild runs the punctuation index building algorithm (paper
+// Fig. 3, Index-Build): tuples with a null pid are matched against the
+// not-yet-indexed punctuations of their own side; matching tuples get
+// that punctuation's pid and bump its count. If the state has
+// disk-resident tuples, the newly indexed punctuations are marked
+// disk-pending: their counts cannot be trusted until a disk pass indexes
+// the disk portion.
+func (j *PJoin) indexBuild(s int) {
+	pending := j.psets[s].Unindexed()
+	if len(pending) == 0 {
+		return
+	}
+	st := j.base.States[s]
+	scan := func(tuples []*store.StoredTuple) {
+		for _, sd := range tuples {
+			j.base.M.IndexScanned++
+			if sd.PID != punct.NoPID {
+				continue
+			}
+			for _, e := range pending {
+				if e.P.Matches(sd.T.Values) {
+					sd.PID = e.PID
+					e.Count++
+					break
+				}
+			}
+		}
+	}
+	for i := 0; i < st.NumBuckets(); i++ {
+		scan(st.Bucket(i).Mem)
+		scan(st.Bucket(i).PurgeBuf)
+	}
+	hasDisk := st.AnyDisk()
+	for _, e := range pending {
+		e.Indexed = true
+		if hasDisk {
+			j.diskPending[s][e.PID] = true
+		}
+	}
+}
+
+// indexDiskTuple assigns a pid to a disk-resident tuple that was spilled
+// before its matching punctuation arrived. Called from disk passes.
+func (j *PJoin) indexDiskTuple(side int, sd *store.StoredTuple) {
+	if sd.PID != punct.NoPID {
+		return
+	}
+	j.base.M.IndexScanned++
+	if e := j.psets[side].FirstMatch(sd.T.Values); e != nil {
+		sd.PID = e.PID
+		e.Count++
+	}
+}
+
+// propagate implements Propagate (paper Fig. 3, lines 16-21): release
+// every indexed punctuation whose match count is zero — by Theorem 1 no
+// future join result can match it — rewritten over the output schema,
+// and remove it from the set. If left-over joins are still pending on
+// disk or in purge buffers, a disk pass runs first (§3.2: "when
+// punctuation propagation needs to finish up all the left-over joins,
+// will the disk join be scheduled to run").
+func (j *PJoin) propagate(now stream.Time) error {
+	if j.base.NeedsPass() {
+		if err := j.diskPass(now); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < 2; s++ {
+		for _, e := range j.psets[s].Propagable() {
+			if j.diskPending[s][e.PID] {
+				continue
+			}
+			outP, err := j.outputPunctuation(s, e.P)
+			if err != nil {
+				return err
+			}
+			if err := j.out.Emit(stream.PunctItem(outP, now)); err != nil {
+				return err
+			}
+			j.base.M.PunctsOut++
+			j.psets[s].Remove(e.PID)
+		}
+	}
+	return nil
+}
+
+// outputPunctuation rewrites a punctuation from input side s over the
+// join's output schema: its patterns keep their (offset) positions and
+// the other side's attributes are wildcards. This is exactly what
+// Theorem 1 licenses — no future result will match the punctuation's own
+// patterns. (An equi-join result also repeats the join value in the
+// other side's join column, but stating that here would make the
+// punctuation look like a multi-column constraint and stop conservative
+// downstream operators such as group-by from exploiting it.)
+func (j *PJoin) outputPunctuation(s int, p punct.Punctuation) (punct.Punctuation, error) {
+	wa, wb := j.cfg.SchemaA.Width(), j.cfg.SchemaB.Width()
+	pats := make([]punct.Pattern, wa+wb)
+	for i := range pats {
+		pats[i] = punct.Star()
+	}
+	off := 0
+	if s == 1 {
+		off = wa
+	}
+	for i := 0; i < p.Width(); i++ {
+		pats[off+i] = p.PatternAt(i)
+	}
+	return punct.New(pats...)
+}
+
+// relocate is the state-relocation component (§3.3): on StateFull, spill
+// the largest buckets until the memory-resident size is under the
+// threshold. Before a bucket is spilled its tuples are indexed against
+// the full own-side punctuation set so disk-resident tuples carry pids.
+func (j *PJoin) relocate(now stream.Time) error {
+	// DTS is stamped now+1: the tuples were memory-resident for every
+	// probe processed at `now`, including the arrival that triggered the
+	// relocation.
+	return j.base.Relocate(now+1, j.mon.CurrentThresholds().MemoryBytes, func(side, bucket int) error {
+		if j.cfg.DisablePropagation {
+			return nil
+		}
+		for _, sd := range j.base.States[side].Bucket(bucket).Mem {
+			if sd.PID != punct.NoPID {
+				continue
+			}
+			j.base.M.IndexScanned++
+			if e := j.psets[side].FirstMatch(sd.T.Values); e != nil {
+				sd.PID = e.PID
+				e.Count++
+			}
+		}
+		return nil
+	})
+}
+
+// diskPass is the disk-join component (§3.2): it finishes every
+// left-over join that state relocation caused, clears the purge
+// buffers, purges disk-resident tuples that match the opposite
+// punctuation set, and completes the punctuation index over the disk
+// portion (clearing disk-pending entries).
+func (j *PJoin) diskPass(now stream.Time) error {
+	if !j.base.NeedsPass() {
+		return nil
+	}
+	hooks := joinbase.PassHooks{
+		OnDiscard: func(side int, sd *store.StoredTuple) {
+			j.discard(side, sd)
+		},
+	}
+	if !j.cfg.DisablePropagation {
+		hooks.IndexDisk = j.indexDiskTuple
+	}
+	if !j.cfg.DisablePurge && !j.cfg.DisableDiskPurge {
+		hooks.DropDisk = func(side int, sd *store.StoredTuple) bool {
+			return j.psets[1-side].SetMatchAttr(j.attrs[1-side], sd.T.Values[j.attrs[side]])
+		}
+	}
+	if err := j.base.DiskPass(now, hooks); err != nil {
+		return err
+	}
+	// The pass read and indexed every disk-resident tuple: counts are
+	// complete again.
+	for s := 0; s < 2; s++ {
+		if len(j.diskPending[s]) > 0 {
+			j.diskPending[s] = make(map[punct.PID]bool)
+		}
+	}
+	return nil
+}
+
+// OnIdle implements op.Operator: it informs the monitor that the inputs
+// are stalled, which fires DiskJoinActivate once the activation
+// threshold elapses (§3.2's reactive scheduling).
+func (j *PJoin) OnIdle(now stream.Time) (bool, error) {
+	j.now = maxTime(j.now, now)
+	before := j.base.M.DiskPasses
+	if err := j.mon.Idle(j.now); err != nil {
+		return false, err
+	}
+	return j.base.M.DiskPasses > before, nil
+}
+
+// RequestPropagation serves the pull propagation mode (§3.5): a
+// downstream operator asks for whatever punctuations are propagable.
+func (j *PJoin) RequestPropagation(now stream.Time) error {
+	j.now = maxTime(j.now, now)
+	return j.mon.RequestPropagation(j.now)
+}
+
+// Finish implements op.Operator: after both inputs ended, any remaining
+// left-over joins are completed, propagable punctuations are released
+// (the StreamEmpty listeners have already run from Process), and EOS is
+// forwarded.
+func (j *PJoin) Finish(now stream.Time) error {
+	if j.finished {
+		return fmt.Errorf("core: pjoin: double Finish")
+	}
+	if !j.eos[0] || !j.eos[1] {
+		return fmt.Errorf("core: pjoin: Finish before EOS on both ports")
+	}
+	j.now = maxTime(j.now, now)
+	if err := j.diskPass(j.now); err != nil {
+		return err
+	}
+	if !j.cfg.DisablePropagation {
+		j.indexBuild(0)
+		j.indexBuild(1)
+		if err := j.propagate(j.now); err != nil {
+			return err
+		}
+	}
+	j.finished = true
+	return j.out.Emit(stream.EOSItem(j.now))
+}
+
+func maxTime(a, b stream.Time) stream.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

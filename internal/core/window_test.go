@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+)
+
+func windowConfig(w stream.Time) Config {
+	cfg := defaultConfig()
+	cfg.Window = w
+	return cfg
+}
+
+func TestWindowValidation(t *testing.T) {
+	sink := &op.Collector{}
+	cfg := windowConfig(-1)
+	if _, err := New(cfg, sink); err == nil {
+		t.Error("negative window should error")
+	}
+	cfg = windowConfig(100)
+	cfg.Thresholds.MemoryBytes = 1000
+	if _, err := New(cfg, sink); err == nil {
+		t.Error("window + relocation should error")
+	}
+}
+
+func TestWindowLimitsJoinPairs(t *testing.T) {
+	sink := &op.Collector{}
+	j, err := New(windowConfig(10*stream.Millisecond), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := stream.Millisecond
+	run(t, j, []feedItem{
+		tupA(1, "old", 1*ms),
+		tupA(1, "fresh", 14*ms),
+		// b arrives at t=20ms: "old" (19ms ago) is out of the window,
+		// "fresh" (6ms ago) is in.
+		tupB(1, "b", 20*ms),
+	})
+	got := sink.Tuples()
+	if len(got) != 1 {
+		t.Fatalf("results = %d, want 1", len(got))
+	}
+	if got[0].Values[1].StrVal() != "fresh" {
+		t.Errorf("joined with wrong tuple: %v", got[0])
+	}
+}
+
+func TestWindowExpiresState(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(windowConfig(5*stream.Millisecond), sink)
+	ms := stream.Millisecond
+	var items []feedItem
+	// All same key so every arrival touches the same bucket.
+	for i := 0; i < 50; i++ {
+		items = append(items, tupA(1, "a", stream.Time(i)*ms))
+	}
+	for _, fi := range items {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The state holds only the last ~5ms of tuples (plus the newest).
+	if got := j.StateTuples(); got > 8 {
+		t.Errorf("window state = %d tuples, want <= 8", got)
+	}
+}
+
+func TestWindowWithPunctuationsStillExact(t *testing.T) {
+	// Within-window pairs must match a window-filtered oracle even when
+	// punctuations purge concurrently.
+	sink := &op.Collector{}
+	w := 20 * stream.Millisecond
+	j, _ := New(windowConfig(w), sink)
+	ms := stream.Millisecond
+	items := []feedItem{
+		tupA(1, "a1", 1*ms),
+		tupB(1, "b1", 5*ms),  // joins a1
+		tupA(2, "a2", 8*ms),  //
+		punctFor(0, 1, 9*ms), // A closes key 1: purge b1? No (b1 is B side; punct from A purges B): yes
+		tupB(2, "b2", 12*ms), // joins a2
+		tupB(1, "b3", 30*ms), // key 1: A closed it; drop on fly; a1 out of window anyway
+		tupA(2, "a3", 45*ms), // b2 (33ms ago) out of window: no result
+	}
+	run(t, j, items)
+	got := multiset(sink.Tuples())
+	want := map[string]int{
+		`1|"a1"|1|"b1"`: 1,
+		`2|"a2"|2|"b2"`: 1,
+	}
+	diffMultisets(t, got, want)
+}
+
+func TestWindowEarlyPropagation(t *testing.T) {
+	// §6: window expiry can make a punctuation propagable before the
+	// opposite stream punctuates — the matching tuples simply expired.
+	cfg := windowConfig(5 * stream.Millisecond)
+	cfg.Thresholds.PropagateCount = 1
+	sink := &op.Collector{}
+	j, _ := New(cfg, sink)
+	ms := stream.Millisecond
+	seq := []feedItem{
+		tupA(1, "a1", 1*ms),
+		punctFor(0, 1, 2*ms), // count(A punct for key1) = 1: not propagable yet
+	}
+	for _, fi := range seq {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sink.Puncts()); got != 0 {
+		t.Fatalf("premature propagation: %d", got)
+	}
+	// A same-bucket arrival far in the future expires a1 and the next
+	// punctuation triggers propagation, releasing key 1's punctuation.
+	// The arrival must come from B: key 1 is closed on the A side.
+	late := tupB(1, "late", 100*ms)
+	if err := j.Process(late.port, late.item, late.item.Ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Process(0, punctFor(0, 2, 101*ms).item, 101*ms); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pi := range sink.Puncts() {
+		if pi.Punct.PatternAt(0).Kind() == punct.Constant {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expired tuple did not unlock propagation")
+	}
+}

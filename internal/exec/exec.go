@@ -1,0 +1,363 @@
+// Package exec runs operator pipelines live: one goroutine per operator,
+// items flowing through buffered channels, back-pressure by channel
+// blocking. It is the runtime half of the mini query engine (the
+// simulator in internal/sim is the measurement half — both drive the
+// same op.Operator implementations).
+//
+// The executor owns arrival timestamping: every item entering an
+// operator is restamped with a strictly increasing timestamp (never
+// below the wall-clock elapsed time), which is the property the join
+// operators' duplicate-avoidance bookkeeping requires.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pjoin/internal/op"
+	"pjoin/internal/stream"
+)
+
+// Edge is a channel between pipeline stages. It implements op.Emitter
+// for the upstream operator; the downstream operator reads from it.
+type Edge struct {
+	p  *Pipeline
+	ch chan stream.Item
+}
+
+// Emit implements op.Emitter. It blocks under back-pressure and fails
+// when the pipeline has been cancelled.
+func (e *Edge) Emit(it stream.Item) error {
+	select {
+	case e.ch <- it:
+		return nil
+	case <-e.p.ctx.Done():
+		return fmt.Errorf("exec: pipeline cancelled: %w", context.Cause(e.p.ctx))
+	}
+}
+
+// Pipeline assembles sources, operators and sinks, then runs them all
+// concurrently.
+type Pipeline struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	wg     sync.WaitGroup
+	start  time.Time
+
+	errOnce sync.Once
+	err     error
+
+	// IdlePoll is how often an operator with stalled inputs gets an
+	// OnIdle call (0 disables; default 5ms). Set before Run.
+	IdlePoll time.Duration
+
+	// BufferSize is the channel capacity for new edges (default 256).
+	BufferSize int
+
+	launched []func()
+	pulls    map[op.Operator]*PullHandle
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Pipeline{
+		ctx: ctx, cancel: cancel,
+		IdlePoll: 5 * time.Millisecond, BufferSize: 256,
+		pulls: make(map[op.Operator]*PullHandle),
+	}
+}
+
+// Edge allocates a new channel edge.
+func (p *Pipeline) Edge() *Edge {
+	n := p.BufferSize
+	if n <= 0 {
+		n = 256
+	}
+	return &Edge{p: p, ch: make(chan stream.Item, n)}
+}
+
+func (p *Pipeline) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.errOnce.Do(func() {
+		p.err = err
+		p.cancel(err)
+	})
+}
+
+// Source feeds the given items into out in order and closes it. If paced
+// is true, each item is released no earlier than its own timestamp
+// (interpreted as an offset from pipeline start); otherwise items flow
+// as fast as downstream accepts them. The source does NOT append an EOS
+// item: include one (or use SourceItems which does).
+func (p *Pipeline) Source(out *Edge, items []stream.Item, paced bool) {
+	p.launched = append(p.launched, func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer close(out.ch)
+			for _, it := range items {
+				if paced {
+					target := p.start.Add(time.Duration(it.Ts))
+					if d := time.Until(target); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-p.ctx.Done():
+							return
+						}
+					}
+				}
+				if err := out.Emit(it); err != nil {
+					return
+				}
+			}
+		}()
+	})
+}
+
+// SourceItems is Source plus an automatic trailing EOS.
+func (p *Pipeline) SourceItems(out *Edge, items []stream.Item, paced bool) {
+	withEOS := make([]stream.Item, 0, len(items)+1)
+	withEOS = append(withEOS, items...)
+	var last stream.Time
+	if len(items) > 0 {
+		last = items[len(items)-1].Ts
+	}
+	withEOS = append(withEOS, stream.EOSItem(last+1))
+	p.Source(out, withEOS, paced)
+}
+
+// portItem tags an item with the input port it arrived on.
+type portItem struct {
+	port int
+	item stream.Item
+}
+
+// PropagationPuller is implemented by operators that can be asked to
+// release propagable punctuations on demand (core.PJoin's pull mode,
+// paper §3.5).
+type PropagationPuller interface {
+	RequestPropagation(now stream.Time) error
+}
+
+// PullHandle requests propagation from a spawned operator. The request
+// is delivered to the operator's own driver goroutine and serviced
+// there, so callers on other goroutines (typically a downstream
+// operator's emitter path) never touch the operator directly. Requests
+// coalesce: while one is pending, further Request calls are no-ops.
+type PullHandle struct {
+	ch chan struct{}
+}
+
+// Request asks for a propagation round. It never blocks.
+func (h *PullHandle) Request() {
+	select {
+	case h.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Pull returns a handle that asks the (already spawned) operator to
+// propagate punctuations. The operator must implement
+// PropagationPuller.
+func (p *Pipeline) Pull(o op.Operator) (*PullHandle, error) {
+	if _, ok := o.(PropagationPuller); !ok {
+		return nil, fmt.Errorf("exec: %s does not support pull-mode propagation", o.Name())
+	}
+	h, ok := p.pulls[o]
+	if !ok {
+		return nil, fmt.Errorf("exec: %s was not spawned on this pipeline", o.Name())
+	}
+	return h, nil
+}
+
+// Spawn wires the operator to its input edges (one per port, in port
+// order) and schedules it to run. The operator's emitter must already
+// point at an Edge created from this pipeline (or any op.Emitter).
+func (p *Pipeline) Spawn(o op.Operator, inputs ...*Edge) error {
+	if o == nil {
+		return fmt.Errorf("exec: Spawn of nil operator")
+	}
+	if len(inputs) != o.NumPorts() {
+		return fmt.Errorf("exec: %s has %d ports, got %d inputs", o.Name(), o.NumPorts(), len(inputs))
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return fmt.Errorf("exec: %s: nil input edge %d", o.Name(), i)
+		}
+	}
+	ins := make([]*Edge, len(inputs))
+	copy(ins, inputs)
+	h := &PullHandle{ch: make(chan struct{}, 1)}
+	p.pulls[o] = h
+	p.launched = append(p.launched, func() { p.runOperator(o, ins, h) })
+	return nil
+}
+
+func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) {
+	merged := make(chan portItem, len(inputs))
+	var fanIn sync.WaitGroup
+	for port, in := range inputs {
+		fanIn.Add(1)
+		go func(port int, in *Edge) {
+			defer fanIn.Done()
+			for it := range in.ch {
+				select {
+				case merged <- portItem{port: port, item: it}:
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		}(port, in)
+	}
+	go func() {
+		fanIn.Wait()
+		close(merged)
+	}()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		var lastTs stream.Time
+		// stamp assigns the system arrival timestamp: strictly
+		// increasing, at least the wall-clock offset since start.
+		stamp := func(it stream.Item) stream.Item {
+			ts := stream.Time(time.Since(p.start))
+			if ts <= lastTs {
+				ts = lastTs + 1
+			}
+			lastTs = ts
+			switch it.Kind {
+			case stream.KindTuple:
+				t := *it.Tuple
+				t.Ts = ts
+				return stream.TupleItem(&t)
+			case stream.KindPunct:
+				return stream.PunctItem(it.Punct, ts)
+			default:
+				return stream.EOSItem(ts)
+			}
+		}
+		eosSeen := 0
+		var idleTimer *time.Timer
+		var idleC <-chan time.Time
+		resetIdle := func() {
+			if p.IdlePoll <= 0 {
+				return
+			}
+			if idleTimer == nil {
+				idleTimer = time.NewTimer(p.IdlePoll)
+			} else {
+				idleTimer.Reset(p.IdlePoll)
+			}
+			idleC = idleTimer.C
+		}
+		resetIdle()
+		for {
+			select {
+			case pi, ok := <-merged:
+				if !ok {
+					// All input channels closed before every port sent
+					// EOS: a protocol violation upstream.
+					p.fail(fmt.Errorf("exec: %s: inputs closed with %d of %d EOS seen",
+						o.Name(), eosSeen, o.NumPorts()))
+					return
+				}
+				it := stamp(pi.item)
+				if it.Kind == stream.KindEOS {
+					eosSeen++
+				}
+				if err := o.Process(pi.port, it, it.Ts); err != nil {
+					p.fail(fmt.Errorf("exec: %s: %w", o.Name(), err))
+					return
+				}
+				if eosSeen == o.NumPorts() {
+					// Every port ended; flush and emit our own EOS.
+					if err := o.Finish(lastTs + 1); err != nil {
+						p.fail(fmt.Errorf("exec: %s: %w", o.Name(), err))
+					}
+					return
+				}
+				resetIdle()
+			case <-pull.ch:
+				pp, ok := o.(PropagationPuller)
+				if !ok {
+					break // requests to non-pullers are ignored
+				}
+				now := stream.Time(time.Since(p.start))
+				if now <= lastTs {
+					now = lastTs + 1
+				}
+				if err := pp.RequestPropagation(now); err != nil {
+					p.fail(fmt.Errorf("exec: %s pull: %w", o.Name(), err))
+					return
+				}
+			case <-idleC:
+				if _, err := o.OnIdle(stream.Time(time.Since(p.start))); err != nil {
+					p.fail(fmt.Errorf("exec: %s idle: %w", o.Name(), err))
+					return
+				}
+				resetIdle()
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Sink attaches a draining collector to an edge and returns it. The
+// collector's contents are complete once Run returns.
+func (p *Pipeline) Sink(in *Edge) *op.Collector {
+	c := &op.Collector{}
+	p.launched = append(p.launched, func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case it, ok := <-in.ch:
+					if !ok {
+						return
+					}
+					c.Emit(it)
+					if it.Kind == stream.KindEOS {
+						return
+					}
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		}()
+	})
+	return c
+}
+
+// Run launches everything and blocks until the pipeline drains or the
+// context is cancelled. It returns the first operator error, if any.
+func (p *Pipeline) Run(ctx context.Context) error {
+	p.start = time.Now()
+	stop := context.AfterFunc(ctx, func() {
+		p.fail(fmt.Errorf("exec: external cancellation: %w", context.Cause(ctx)))
+	})
+	defer stop()
+	for _, launch := range p.launched {
+		launch()
+	}
+	p.launched = nil
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-p.ctx.Done():
+		<-done
+	}
+	p.cancel(nil)
+	return p.err
+}

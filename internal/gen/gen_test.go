@@ -1,0 +1,283 @@
+package gen
+
+import (
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:     1,
+		Duration: 2_000 * stream.Millisecond,
+		A:        SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: 10},
+		B:        SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: 10},
+	}
+}
+
+func TestSyntheticValidates(t *testing.T) {
+	arrs, err := Synthetic(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(arrs); err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(arrs)
+	if st.Tuples[0] == 0 || st.Tuples[1] == 0 {
+		t.Fatalf("missing tuples: %+v", st)
+	}
+	if st.Puncts[0] == 0 || st.Puncts[1] == 0 {
+		t.Fatalf("missing punctuations: %+v", st)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, _ := Synthetic(baseConfig())
+	b, _ := Synthetic(baseConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Port != b[i].Port || a[i].Item.Ts != b[i].Item.Ts || a[i].Item.Kind != b[i].Item.Kind {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	cfg := baseConfig()
+	a, _ := Synthetic(cfg)
+	cfg.Seed = 2
+	b, _ := Synthetic(cfg)
+	same := 0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Item.Ts == b[i].Item.Ts {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds gave identical schedules")
+	}
+}
+
+func TestSyntheticTupleRate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 10_000 * stream.Millisecond
+	arrs, _ := Synthetic(cfg)
+	st := Summarize(arrs)
+	// Each side: ~10000ms / 2ms = 5000 tuples. Allow 10% slack.
+	for s := 0; s < 2; s++ {
+		if st.Tuples[s] < 4500 || st.Tuples[s] > 5500 {
+			t.Errorf("side %d tuples = %d, want ~5000", s, st.Tuples[s])
+		}
+	}
+}
+
+func TestSyntheticPunctuationRate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 10_000 * stream.Millisecond
+	cfg.A.PunctMean = 40
+	cfg.B.PunctMean = 40
+	arrs, _ := Synthetic(cfg)
+	st := Summarize(arrs)
+	for s := 0; s < 2; s++ {
+		ratio := float64(st.Tuples[s]) / float64(st.Puncts[s])
+		if ratio < 30 || ratio > 55 {
+			t.Errorf("side %d tuples/punct = %.1f, want ~40", s, ratio)
+		}
+	}
+}
+
+func TestSyntheticMaxTuplesCap(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 0
+	cfg.MaxTuples = 100
+	arrs, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(arrs)
+	if got := st.Tuples[0] + st.Tuples[1]; got != 100 {
+		t.Errorf("tuples = %d, want exactly 100", got)
+	}
+}
+
+func TestSyntheticNoPunctuations(t *testing.T) {
+	cfg := baseConfig()
+	cfg.A.PunctMean = 0
+	cfg.B.PunctMean = 0
+	arrs, _ := Synthetic(cfg)
+	st := Summarize(arrs)
+	if st.Puncts[0] != 0 || st.Puncts[1] != 0 {
+		t.Errorf("punctuations generated when disabled: %+v", st)
+	}
+	if err := Validate(arrs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticAsymmetricHonesty(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 20_000 * stream.Millisecond
+	cfg.A.PunctMean = 10
+	cfg.B.PunctMean = 40
+	arrs, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(arrs); err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(arrs)
+	if st.Puncts[0] <= st.Puncts[1]*2 {
+		t.Errorf("side A should punctuate much faster: %d vs %d", st.Puncts[0], st.Puncts[1])
+	}
+}
+
+func TestSyntheticAligned(t *testing.T) {
+	cfg := baseConfig()
+	cfg.A.PunctMean = 40
+	cfg.B.PunctMean = 40
+	cfg.AlignedPunctuation = true
+	cfg.Duration = 20_000 * stream.Millisecond
+	arrs, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(arrs); err != nil {
+		t.Fatal(err)
+	}
+	// Punctuated key sequences per port must be identical.
+	var keys [2][]int64
+	for _, a := range arrs {
+		if a.Item.Kind == stream.KindPunct {
+			keys[a.Port] = append(keys[a.Port], a.Item.Punct.PatternAt(KeyAttr).ConstVal().IntVal())
+		}
+	}
+	n := len(keys[0])
+	if len(keys[1]) < n {
+		n = len(keys[1])
+	}
+	if n == 0 {
+		t.Fatal("no aligned punctuations generated")
+	}
+	for i := 0; i < n; i++ {
+		if keys[0][i] != keys[1][i] {
+			t.Fatalf("punctuation order differs at %d: %d vs %d", i, keys[0][i], keys[1][i])
+		}
+	}
+	// Counts may differ by at most the in-flight tail.
+	if d := len(keys[0]) - len(keys[1]); d < -2 || d > 2 {
+		t.Errorf("aligned punctuation counts differ too much: %d vs %d", len(keys[0]), len(keys[1]))
+	}
+}
+
+func TestSyntheticConfigErrors(t *testing.T) {
+	bad := []Config{
+		{},
+		{Duration: 100, A: SideSpec{TupleMean: 0}, B: SideSpec{TupleMean: 1}},
+		{Duration: 100, A: SideSpec{TupleMean: 1, PunctMean: -1}, B: SideSpec{TupleMean: 1}},
+		{Duration: 100, A: SideSpec{TupleMean: 1}, B: SideSpec{TupleMean: 1}, WindowKeys: -5},
+		{Duration: 100, A: SideSpec{TupleMean: 1, PunctMean: 5}, B: SideSpec{TupleMean: 1, PunctMean: 9}, AlignedPunctuation: true},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("config %d should error", i)
+		}
+	}
+}
+
+func TestValidateDetectsViolations(t *testing.T) {
+	arrs, _ := Synthetic(baseConfig())
+	// Find a punctuation and replay its key as a later tuple.
+	var pi int
+	for i, a := range arrs {
+		if a.Item.Kind == stream.KindPunct {
+			pi = i
+			break
+		}
+	}
+	key := arrs[pi].Item.Punct.PatternAt(KeyAttr).ConstVal()
+	bad := append([]Arrival{}, arrs...)
+	tp := stream.MustTuple(SchemaA, arrs[len(arrs)-1].Item.Ts+1, key, arrs[0].Item.Tuple.Values[1])
+	bad = append(bad, Arrival{Port: arrs[pi].Port, Item: stream.TupleItem(tp)})
+	if err := Validate(bad); err == nil {
+		t.Error("violation not detected")
+	}
+	// Non-increasing timestamps detected.
+	bad2 := append([]Arrival{}, arrs...)
+	bad2 = append(bad2, bad2[0])
+	if err := Validate(bad2); err == nil {
+		t.Error("timestamp regression not detected")
+	}
+}
+
+func TestAuctionWorkload(t *testing.T) {
+	arrs, err := Auction(AuctionConfig{
+		Seed:            3,
+		Items:           50,
+		OpenMean:        5 * stream.Millisecond,
+		AuctionLength:   100 * stream.Millisecond,
+		BidMean:         10 * stream.Millisecond,
+		UniqueOpenPunct: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(arrs); err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(arrs)
+	if st.Tuples[AuctionPortOpen] != 50 {
+		t.Errorf("open tuples = %d", st.Tuples[AuctionPortOpen])
+	}
+	if st.Puncts[AuctionPortOpen] != 50 {
+		t.Errorf("open punctuations = %d (unique-key punctuation per item)", st.Puncts[AuctionPortOpen])
+	}
+	if st.Puncts[AuctionPortBid] != 50 {
+		t.Errorf("bid punctuations = %d (one per auction close)", st.Puncts[AuctionPortBid])
+	}
+	if st.Tuples[AuctionPortBid] == 0 {
+		t.Error("no bids generated")
+	}
+}
+
+func TestAuctionBidsRespectClose(t *testing.T) {
+	// Validate() already proves no bid follows its item's punctuation;
+	// here we additionally check bids only exist for opened items.
+	arrs, _ := Auction(AuctionConfig{
+		Seed: 1, Items: 10,
+		OpenMean: 10 * stream.Millisecond, AuctionLength: 50 * stream.Millisecond,
+		BidMean: 5 * stream.Millisecond,
+	})
+	opened := map[int64]bool{}
+	for _, a := range arrs {
+		if a.Item.Kind != stream.KindTuple {
+			continue
+		}
+		id := a.Item.Tuple.Values[0].IntVal()
+		if a.Port == AuctionPortOpen {
+			opened[id] = true
+		} else if !opened[id] {
+			t.Fatalf("bid for item %d before it opened", id)
+		}
+	}
+}
+
+func TestAuctionConfigErrors(t *testing.T) {
+	bad := []AuctionConfig{
+		{},
+		{Items: 1},
+		{Items: 1, OpenMean: 1, AuctionLength: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Auction(cfg); err == nil {
+			t.Errorf("config %d should error", i)
+		}
+	}
+}

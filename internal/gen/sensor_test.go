@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+func sensorConfig() SensorConfig {
+	return SensorConfig{
+		Seed:        1,
+		Epochs:      30,
+		EpochLength: 10 * stream.Millisecond,
+	}
+}
+
+func TestSensorsValidates(t *testing.T) {
+	arrs, err := Sensors(sensorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(arrs); err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(arrs)
+	if st.Tuples[SensorPortReadings] == 0 {
+		t.Error("no readings")
+	}
+	if st.Puncts[SensorPortReadings] != 30 || st.Puncts[SensorPortAlerts] != 30 {
+		t.Errorf("punctuations per side = %d/%d, want 30/30",
+			st.Puncts[SensorPortReadings], st.Puncts[SensorPortAlerts])
+	}
+	// Roughly half the epochs raise an alert at the default probability.
+	if st.Tuples[SensorPortAlerts] < 5 || st.Tuples[SensorPortAlerts] > 25 {
+		t.Errorf("alerts = %d", st.Tuples[SensorPortAlerts])
+	}
+}
+
+func TestSensorsDeterministic(t *testing.T) {
+	a, _ := Sensors(sensorConfig())
+	b, _ := Sensors(sensorConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Port != b[i].Port || a[i].Item.Ts != b[i].Item.Ts || a[i].Item.Kind != b[i].Item.Kind {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestSensorsEpochOrdering(t *testing.T) {
+	arrs, _ := Sensors(sensorConfig())
+	// Every tuple for epoch e must precede that side's punctuation for e
+	// (Validate covers honesty; here also check epochs are contiguous).
+	maxSeen := int64(-1)
+	for _, a := range arrs {
+		if a.Item.Kind != stream.KindTuple {
+			continue
+		}
+		e := a.Item.Tuple.Values[0].IntVal()
+		if e > maxSeen {
+			maxSeen = e
+		}
+		if e < maxSeen-1 {
+			t.Fatalf("tuple for epoch %d after epoch %d items", e, maxSeen)
+		}
+	}
+}
+
+func TestSensorsConfigErrors(t *testing.T) {
+	bad := []SensorConfig{
+		{},
+		{Epochs: 1},
+		{Epochs: 1, EpochLength: 10, Sensors: -1},
+		{Epochs: 1, EpochLength: 10, ReadingMean: -5},
+		{Epochs: 1, EpochLength: 10, AlertProb: 101},
+	}
+	for i, cfg := range bad {
+		if _, err := Sensors(cfg); err == nil {
+			t.Errorf("config %d should error", i)
+		}
+	}
+}
+
+func TestSensorsTimestampsReflectEpochs(t *testing.T) {
+	cfg := sensorConfig()
+	arrs, _ := Sensors(cfg)
+	for _, a := range arrs {
+		if a.Item.Kind != stream.KindTuple {
+			continue
+		}
+		e := a.Item.Tuple.Values[0].IntVal()
+		lo := stream.Time(e) * cfg.EpochLength
+		hi := lo + cfg.EpochLength
+		// The strict-monotonicity stamp can nudge by a few ns, so allow
+		// a tiny margin past the epoch boundary.
+		if a.Item.Ts < lo || a.Item.Ts > hi+100 {
+			t.Fatalf("epoch %d tuple at ts %d outside [%d, %d]", e, a.Item.Ts, lo, hi)
+		}
+		if a.Item.Ts != a.Item.Tuple.Ts {
+			t.Fatal("item ts and tuple ts diverge")
+		}
+	}
+}

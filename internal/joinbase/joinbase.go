@@ -1,0 +1,308 @@
+// Package joinbase holds the machinery shared by the binary hash joins
+// (PJoin and the XJoin baseline): the symmetric two-state layout, memory
+// probing, memory-overflow relocation, and the duplicate-free disk pass
+// that finishes the joins left over by state relocation.
+//
+// # Duplicate avoidance
+//
+// Every stored tuple carries its memory-residence interval [ATS, DTS):
+// ATS is the arrival time, DTS the moment it left the memory-resident
+// portion (spill to disk, or move to the purge buffer); DTS is InMemory
+// while resident. The memory join handles exactly the pairs whose
+// residence intervals overlap — when the later tuple arrived, the
+// earlier one was memory-resident and got probed. Every other matching
+// pair must be produced by a disk pass, exactly once.
+//
+// A pair (a, b) is "reachable" by a disk pass at time T when one side
+// had already departed memory and the other had arrived:
+//
+//	reachable(a,b,T) = (a.DTS <= T && b.ATS <= T) || (b.DTS <= T && a.ATS <= T)
+//
+// A disk pass over a bucket at time T joins the pairs that are reachable
+// now but were not reachable at the bucket's previous pass, skipping
+// overlapping pairs (already joined in memory). Since reachability is
+// monotone in T, each non-overlapping pair is emitted by exactly the
+// first pass at which it becomes reachable. A final pass at end-of-
+// stream reaches everything left.
+package joinbase
+
+import (
+	"fmt"
+
+	"pjoin/internal/store"
+	"pjoin/internal/stream"
+)
+
+// EmitFunc receives one join result (the A-side tuple's values followed
+// by the B-side tuple's values).
+type EmitFunc func(*stream.Tuple) error
+
+// Metrics counts the work a join performed; the simulator charges costs
+// from these and the benches report them.
+type Metrics struct {
+	TuplesIn      [2]int64 // data tuples consumed per side
+	PunctsIn      [2]int64 // punctuations consumed per side
+	TuplesOut     int64    // join results emitted
+	PunctsOut     int64    // punctuations propagated
+	Examined      int64    // stored tuples examined by memory probes
+	DiskExamined  int64    // pair checks performed by disk passes
+	DiskJoins     int64    // results produced by disk passes
+	Relocations   int64    // buckets spilled
+	SpilledTuples int64    // tuples moved to disk
+	DiskPasses    int64    // disk passes executed
+	Purged        int64    // tuples purged from the state (PJoin)
+	PurgeScanned  int64    // tuples examined by purge scans (PJoin)
+	PurgeRuns     int64    // purge component invocations (PJoin)
+	DroppedOnFly  int64    // tuples never inserted thanks to punctuations
+	IndexScanned  int64    // tuples examined by punctuation index builds
+}
+
+// Base is the symmetric two-state core of a binary equi-join.
+type Base struct {
+	States [2]*store.State
+	Out    *stream.Schema
+	Emit   EmitFunc
+	M      Metrics
+
+	lastPass []stream.Time // per bucket; both states share the bucket space
+}
+
+// New builds a Base over two freshly created states with the same bucket
+// count (required: a join key must land in the same bucket index on both
+// sides).
+func New(a, b *store.State, out *stream.Schema, emit EmitFunc) (*Base, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("joinbase: nil state")
+	}
+	if a.NumBuckets() != b.NumBuckets() {
+		return nil, fmt.Errorf("joinbase: bucket counts differ: %d vs %d", a.NumBuckets(), b.NumBuckets())
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("joinbase: nil emit function")
+	}
+	return &Base{
+		States:   [2]*store.State{a, b},
+		Out:      out,
+		Emit:     emit,
+		lastPass: make([]stream.Time, a.NumBuckets()),
+	}, nil
+}
+
+// emitPair emits the result for the pair, putting the side-0 tuple's
+// values first regardless of which side is "a" in the caller.
+func (b *Base) emitPair(sideOfX int, x, y *store.StoredTuple) error {
+	var res *stream.Tuple
+	if sideOfX == 0 {
+		res = x.T.Join(y.T)
+	} else {
+		res = y.T.Join(x.T)
+	}
+	b.M.TuplesOut++
+	return b.Emit(res)
+}
+
+// ProbeOpposite joins a new arrival on side s against the opposite
+// state's memory-resident portion, emitting all results. It returns the
+// number of matches produced.
+func (b *Base) ProbeOpposite(s int, t *stream.Tuple) (int, error) {
+	opp := b.States[1-s]
+	key := b.States[s].Key(t)
+	matches, examined := opp.ProbeMem(key, nil)
+	b.M.Examined += int64(examined)
+	arrival := &store.StoredTuple{T: t, DTS: store.InMemory}
+	for _, m := range matches {
+		if err := b.emitPair(1-s, m, arrival); err != nil {
+			return 0, err
+		}
+	}
+	return len(matches), nil
+}
+
+// Relocate implements the memory-overflow resolution (paper §3.3,
+// following XJoin): while the combined memory-resident size is at or
+// above memBytes, spill the largest bucket of the larger state to disk.
+// beforeSpill, if non-nil, is invoked with (side, bucket) before each
+// spill so the caller can index the bucket's tuples first (PJoin needs
+// disk-resident tuples to carry their pids).
+func (b *Base) Relocate(now stream.Time, memBytes int64, beforeSpill func(side, bucket int) error) error {
+	if memBytes <= 0 {
+		return nil
+	}
+	for b.States[0].MemBytes()+b.States[1].MemBytes() >= memBytes {
+		side := 0
+		if b.States[1].MemBytes() > b.States[0].MemBytes() {
+			side = 1
+		}
+		victim := b.States[side].LargestMemBucket()
+		if victim < 0 {
+			// Fall back to the other side before giving up.
+			side = 1 - side
+			victim = b.States[side].LargestMemBucket()
+			if victim < 0 {
+				return nil // nothing resident anywhere
+			}
+		}
+		if beforeSpill != nil {
+			if err := beforeSpill(side, victim); err != nil {
+				return err
+			}
+		}
+		n, err := b.States[side].SpillBucket(victim, now)
+		if err != nil {
+			return err
+		}
+		b.M.Relocations++
+		b.M.SpilledTuples += int64(n)
+	}
+	return nil
+}
+
+// PassHooks customise a disk pass. All fields may be nil.
+type PassHooks struct {
+	// IndexDisk is called for every disk-resident tuple read by the
+	// pass, letting PJoin assign pids to tuples that were spilled before
+	// a matching punctuation arrived.
+	IndexDisk func(side int, s *store.StoredTuple)
+	// DropDisk reports whether a disk-resident tuple should be purged
+	// instead of written back after the pass (PJoin's disk-side purge).
+	DropDisk func(side int, s *store.StoredTuple) bool
+	// OnDiscard is called for every tuple that leaves the state during
+	// the pass: purge-buffer tuples (always discarded) and disk tuples
+	// for which DropDisk returned true. PJoin decrements punctuation
+	// counts here.
+	OnDiscard func(side int, s *store.StoredTuple)
+}
+
+// NeedsPass reports whether a disk pass would do anything: some bucket
+// has disk-resident data or a non-empty purge buffer.
+func (b *Base) NeedsPass() bool {
+	for s := 0; s < 2; s++ {
+		st := b.States[s]
+		if st.AnyDisk() {
+			return true
+		}
+		for i := 0; i < st.NumBuckets(); i++ {
+			if len(st.Bucket(i).PurgeBuf) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DiskPass performs one full disk pass at time now: for every bucket
+// with disk-resident data or purge-buffer tuples on either side, it
+// finishes all newly reachable left-over joins (see the package comment
+// for the exactly-once argument), clears the purge buffers, and rewrites
+// the disk portions (minus tuples DropDisk rejects).
+func (b *Base) DiskPass(now stream.Time, hooks PassHooks) error {
+	b.M.DiskPasses++
+	for i := 0; i < b.States[0].NumBuckets(); i++ {
+		if err := b.passBucket(i, now, hooks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Base) passBucket(i int, now stream.Time, hooks PassHooks) error {
+	a, bb := b.States[0], b.States[1]
+	if !a.HasDisk(i) && !bb.HasDisk(i) &&
+		len(a.Bucket(i).PurgeBuf) == 0 && len(bb.Bucket(i).PurgeBuf) == 0 {
+		return nil
+	}
+	last := b.lastPass[i]
+
+	// Assemble each side's full population of the bucket: disk portion,
+	// purge buffer, and memory portion.
+	var sides [2][]*store.StoredTuple
+	var disk [2][]*store.StoredTuple
+	for s := 0; s < 2; s++ {
+		st := b.States[s]
+		d, err := st.ReadDisk(i)
+		if err != nil {
+			return err
+		}
+		if hooks.IndexDisk != nil {
+			for _, dt := range d {
+				hooks.IndexDisk(s, dt)
+			}
+		}
+		disk[s] = d
+		all := make([]*store.StoredTuple, 0, len(d)+len(st.Bucket(i).Mem)+len(st.Bucket(i).PurgeBuf))
+		all = append(all, d...)
+		all = append(all, st.Bucket(i).PurgeBuf...)
+		all = append(all, st.Bucket(i).Mem...)
+		sides[s] = all
+	}
+
+	// Join every newly reachable, non-overlapping pair.
+	for _, x := range sides[0] {
+		kx := b.States[0].Key(x.T)
+		for _, y := range sides[1] {
+			b.M.DiskExamined++
+			if !b.States[1].Key(y.T).Equal(kx) {
+				continue
+			}
+			if x.Overlaps(y) {
+				continue // already joined by the memory join
+			}
+			if reachable(x, y, last) {
+				continue // already joined by an earlier pass
+			}
+			if !reachable(x, y, now) {
+				continue // not this pass's responsibility (cannot happen for now >= all stamps, kept for safety)
+			}
+			if err := b.emitPair(0, x, y); err != nil {
+				return err
+			}
+			b.M.DiskJoins++
+		}
+	}
+
+	// The pass completed every join the purge-buffer tuples could still
+	// owe: discard them.
+	for s := 0; s < 2; s++ {
+		for _, pt := range b.States[s].TakePurgeBuffer(i) {
+			if hooks.OnDiscard != nil {
+				hooks.OnDiscard(s, pt)
+			}
+		}
+	}
+
+	// Rewrite the disk portions, dropping what DropDisk rejects.
+	for s := 0; s < 2; s++ {
+		if len(disk[s]) == 0 {
+			continue
+		}
+		keep := disk[s][:0]
+		dropped := false
+		for _, dt := range disk[s] {
+			if hooks.DropDisk != nil && hooks.DropDisk(s, dt) {
+				if hooks.OnDiscard != nil {
+					hooks.OnDiscard(s, dt)
+				}
+				b.M.Purged++
+				dropped = true
+				continue
+			}
+			keep = append(keep, dt)
+		}
+		// Rewrite when tuples were dropped, or when IndexDisk may have
+		// updated pids that must persist.
+		if dropped || hooks.IndexDisk != nil {
+			if err := b.States[s].RewriteDisk(i, keep); err != nil {
+				return err
+			}
+		}
+	}
+
+	b.lastPass[i] = now
+	return nil
+}
+
+// reachable reports whether pair (x, y) was reachable by a disk pass at
+// time T: one tuple had departed memory and the other had arrived.
+func reachable(x, y *store.StoredTuple, t stream.Time) bool {
+	return (x.DTS <= t && y.ATS() <= t) || (y.DTS <= t && x.ATS() <= t)
+}

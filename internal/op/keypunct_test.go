@@ -1,0 +1,144 @@
+package op
+
+import (
+	"strings"
+	"testing"
+
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+func TestKeyPunctuatorValidation(t *testing.T) {
+	sink := &Collector{}
+	if _, err := NewKeyPunctuator(nil, 0, sink); err == nil {
+		t.Error("nil schema should error")
+	}
+	if _, err := NewKeyPunctuator(inSchema, 0, nil); err == nil {
+		t.Error("nil emitter should error")
+	}
+	if _, err := NewKeyPunctuator(inSchema, 5, sink); err == nil {
+		t.Error("attr range should error")
+	}
+}
+
+func TestKeyPunctuatorDerivesPunctuations(t *testing.T) {
+	sink := &Collector{}
+	k, err := NewKeyPunctuator(inSchema, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Process(0, tup(t, 1, 10, 1), 1)
+	k.Process(0, tup(t, 2, 20, 2), 2)
+	if got := len(sink.Tuples()); got != 2 {
+		t.Fatalf("tuples forwarded = %d", got)
+	}
+	ps := sink.Puncts()
+	if len(ps) != 2 || k.Derived() != 2 {
+		t.Fatalf("derived punctuations = %d", len(ps))
+	}
+	// Each punctuation is a constant on the key attribute, wildcard
+	// elsewhere, timestamped with the tuple's timestamp.
+	p0 := ps[0]
+	if p0.Punct.PatternAt(0).Kind() != punct.Constant ||
+		!p0.Punct.PatternAt(0).ConstVal().Equal(value.Int(1)) {
+		t.Errorf("punctuation 0 = %v", p0.Punct)
+	}
+	if p0.Punct.PatternAt(1).Kind() != punct.Wildcard {
+		t.Errorf("non-key pattern should be wildcard: %v", p0.Punct)
+	}
+	if p0.Ts != 1 {
+		t.Errorf("punctuation ts = %d", p0.Ts)
+	}
+	// Ordering: tuple before its punctuation.
+	if sink.Items[0].Kind != stream.KindTuple || sink.Items[1].Kind != stream.KindPunct {
+		t.Error("punctuation must follow its tuple")
+	}
+}
+
+func TestKeyPunctuatorDetectsDuplicates(t *testing.T) {
+	sink := &Collector{}
+	k, _ := NewKeyPunctuator(inSchema, 0, sink)
+	k.Process(0, tup(t, 7, 1, 1), 1)
+	err := k.Process(0, tup(t, 7, 2, 2), 2)
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Errorf("duplicate not detected: %v", err)
+	}
+}
+
+func TestKeyPunctuatorPassesForeignPunctuations(t *testing.T) {
+	sink := &Collector{}
+	k, _ := NewKeyPunctuator(inSchema, 0, sink)
+	k.Process(0, keyPunct(9, 1), 1)
+	if got := len(sink.Puncts()); got != 1 {
+		t.Errorf("foreign punctuation not forwarded: %d", got)
+	}
+	if k.Derived() != 0 {
+		t.Error("foreign punctuation counted as derived")
+	}
+}
+
+func TestKeyPunctuatorProtocol(t *testing.T) {
+	sink := &Collector{}
+	k, _ := NewKeyPunctuator(inSchema, 0, sink)
+	if err := k.Finish(1); err == nil {
+		t.Error("Finish before EOS should error")
+	}
+	k.Process(0, stream.EOSItem(1), 1)
+	if err := k.Process(0, stream.EOSItem(2), 2); err == nil {
+		t.Error("dup EOS should error")
+	}
+	if err := k.Finish(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Finish(4); err == nil {
+		t.Error("double Finish should error")
+	}
+	if sink.Items[len(sink.Items)-1].Kind != stream.KindEOS {
+		t.Error("EOS not forwarded")
+	}
+	if did, _ := k.OnIdle(5); did {
+		t.Error("no idle work expected")
+	}
+	if k.Name() == "" || k.NumPorts() != 1 || k.OutSchema() != inSchema {
+		t.Error("metadata wrong")
+	}
+}
+
+// End-to-end: KeyPunctuator in front of a group-by lets a blocking
+// aggregate over a keyed stream emit every row early.
+func TestKeyPunctuatorUnblocksDownstream(t *testing.T) {
+	grouped := &Collector{}
+	gb, err := NewGroupBy(inSchema, 0, 1, AggSum, grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := NewKeyPunctuator(inSchema, 0, EmitterFunc(func(it stream.Item) error {
+		if it.Kind == stream.KindEOS {
+			if err := gb.Process(0, it, it.Ts); err != nil {
+				return err
+			}
+			return gb.Finish(it.Ts)
+		}
+		return gb.Process(0, it, it.Ts)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := kp.Process(0, tup(t, i, float64(i), stream.Time(i+1)), stream.Time(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every group closed immediately: all rows emitted before EOS.
+	if got := gb.EarlyEmitted(); got != 5 {
+		t.Errorf("early emitted = %d, want 5", got)
+	}
+	kp.Process(0, stream.EOSItem(100), 100)
+	if err := kp.Finish(101); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(grouped.Tuples()); got != 5 {
+		t.Errorf("group rows = %d", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package op defines the query-operator abstraction the mini engine runs
+// (the paper hosts PJoin inside the Raindrop system; this package plus
+// internal/exec is our minimal equivalent), together with the
+// punctuation-aware relational operators used downstream of the join:
+// select, project, group-by (with early emission on punctuations), and
+// union.
+//
+// Operators are single-threaded state machines driven by Process calls;
+// concurrency is the executor's business. This makes the same operator
+// code runnable under the live channel executor and under the
+// deterministic cost-model simulator.
+package op
+
+import (
+	"fmt"
+
+	"pjoin/internal/stream"
+)
+
+// Emitter receives an operator's output items.
+type Emitter interface {
+	Emit(stream.Item) error
+}
+
+// EmitterFunc adapts a function to Emitter.
+type EmitterFunc func(stream.Item) error
+
+// Emit implements Emitter.
+func (f EmitterFunc) Emit(it stream.Item) error { return f(it) }
+
+// Collector is an Emitter that stores everything it receives; the test
+// suites and examples use it as a sink.
+type Collector struct {
+	Items []stream.Item
+}
+
+// Emit implements Emitter.
+func (c *Collector) Emit(it stream.Item) error {
+	c.Items = append(c.Items, it)
+	return nil
+}
+
+// Tuples returns only the data tuples received.
+func (c *Collector) Tuples() []*stream.Tuple {
+	var out []*stream.Tuple
+	for _, it := range c.Items {
+		if it.Kind == stream.KindTuple {
+			out = append(out, it.Tuple)
+		}
+	}
+	return out
+}
+
+// Puncts returns only the punctuation items received.
+func (c *Collector) Puncts() []stream.Item {
+	var out []stream.Item
+	for _, it := range c.Items {
+		if it.Kind == stream.KindPunct {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Reset discards collected items.
+func (c *Collector) Reset() { c.Items = nil }
+
+// Operator is a stream query operator with one or more input ports.
+// Implementations must be safe for single-goroutine use; the executor
+// serialises calls.
+type Operator interface {
+	// Name identifies the operator instance in plans and errors.
+	Name() string
+	// NumPorts returns how many input ports the operator has.
+	NumPorts() int
+	// OutSchema describes the output tuples.
+	OutSchema() *stream.Schema
+	// Process consumes one input item on the given port at time now.
+	// EOS items must be delivered exactly once per port; after every
+	// port saw EOS the driver calls Finish.
+	Process(port int, it stream.Item, now stream.Time) error
+	// OnIdle is called when inputs are stalled, letting the operator do
+	// background work (e.g. a reactive disk join). It reports whether it
+	// did anything.
+	OnIdle(now stream.Time) (bool, error)
+	// Finish flushes remaining state after all ports reached EOS. The
+	// operator must emit its own EOS downstream exactly once.
+	Finish(now stream.Time) error
+}
+
+// ValidatePort returns an error if port is outside [0, n).
+func ValidatePort(name string, port, n int) error {
+	if port < 0 || port >= n {
+		return fmt.Errorf("op: %s: port %d out of range [0,%d)", name, port, n)
+	}
+	return nil
+}

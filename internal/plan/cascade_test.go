@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pjoin/internal/core"
+	"pjoin/internal/gen"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+// TestCascadedJoinsPropagationPaysOff is the end-to-end payoff of
+// punctuation propagation (§3.5): in a plan with TWO chained PJoins,
+// the punctuations the first join propagates must let the SECOND join
+// purge its state — the exact benefit the paper promises downstream
+// operators.
+func TestCascadedJoinsPropagationPaysOff(t *testing.T) {
+	scC := stream.MustSchema("C",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "pc", Kind: value.KindString},
+	)
+	keyP := func(width int, k int64) punct.Punctuation {
+		return punct.MustKeyOnly(width, 0, punct.Const(value.Int(k)))
+	}
+	// Three streams over the same keys; every stream punctuates each key
+	// right after its tuples.
+	var a, b, c []stream.Item
+	var ts stream.Time
+	next := func() stream.Time { ts++; return ts }
+	const keys = 30
+	for k := int64(0); k < keys; k++ {
+		a = append(a,
+			stream.TupleItem(stream.MustTuple(gen.SchemaA, next(), value.Int(k), value.Str(fmt.Sprintf("a%d", k)))),
+			stream.PunctItem(keyP(2, k), next()))
+		b = append(b,
+			stream.TupleItem(stream.MustTuple(gen.SchemaB, next(), value.Int(k), value.Str(fmt.Sprintf("b%d", k)))),
+			stream.PunctItem(keyP(2, k), next()))
+		c = append(c,
+			stream.TupleItem(stream.MustTuple(scC, next(), value.Int(k), value.Str(fmt.Sprintf("c%d", k)))),
+			stream.PunctItem(keyP(2, k), next()))
+	}
+
+	p := New()
+	p.Source("a", gen.SchemaA, a, false)
+	p.Source("b", gen.SchemaB, b, false)
+	p.Source("c", scC, c, false)
+	p.PJoin("j1", "a", "b", JoinOptions{Verify: true})
+	// j1's output joins with C on the same key (attribute 0 of both).
+	p.PJoin("j2", "j1", "c", JoinOptions{Verify: true})
+	p.Sink("out", "j2")
+
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Sinks["out"].Tuples()
+	if len(rows) != keys {
+		t.Fatalf("results = %d, want %d", len(rows), keys)
+	}
+	for _, r := range rows {
+		if r.Width() != 6 {
+			t.Fatalf("cascaded result width = %d", r.Width())
+		}
+	}
+
+	j2 := res.Operators["j2"].(*core.PJoin)
+	// The decisive assertions: j1's PROPAGATED punctuations reached j2
+	// and purged its state.
+	if j2.Metrics().PunctsIn[0] == 0 {
+		t.Fatal("no punctuations flowed from j1 into j2")
+	}
+	if j2.Metrics().Purged == 0 && j2.Metrics().DroppedOnFly == 0 {
+		t.Error("j2 exploited no punctuations at all")
+	}
+	if got := j2.StateTuples(); got != 0 {
+		t.Errorf("j2 state = %d at end; upstream punctuations should have purged it", got)
+	}
+	// And j2 itself propagates punctuations over the cascaded schema.
+	if got := len(res.Sinks["out"].Puncts()); got == 0 {
+		t.Error("no punctuations propagated out of the cascade")
+	}
+}

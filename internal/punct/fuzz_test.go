@@ -1,0 +1,51 @@
+package punct
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the punctuation parser never panics and accepted
+// punctuations round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<*>", "<5, *>", "<[1 .. 9], {2, 3}, \"x\">", "<{}>",
+		"<", "<>", "<*,>", "<[1..>", `<"a,b", *>`, "<[1 .. 2], [3 .. x]>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("accepted %q -> %v, but %q does not re-parse: %v", s, p, p.String(), err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip %q -> %v -> %v", s, p, back)
+		}
+	})
+}
+
+// FuzzPatternAnd checks that And never panics on parsed patterns and
+// always yields a pattern contained in both inputs.
+func FuzzPatternAnd(f *testing.F) {
+	f.Add("[1 .. 9]", "{2, 3, 4}")
+	f.Add("*", "7")
+	f.Add("{}", `"x"`)
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, err := ParsePattern(sa)
+		if err != nil {
+			return
+		}
+		b, err := ParsePattern(sb)
+		if err != nil {
+			return
+		}
+		ab := a.And(b)
+		if !a.Contains(ab) || !b.Contains(ab) {
+			t.Fatalf("And(%v, %v) = %v escapes an operand", a, b, ab)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package punct
+
+import (
+	"fmt"
+	"strings"
+
+	"pjoin/internal/value"
+)
+
+// ParsePattern parses the textual pattern syntax emitted by
+// Pattern.String:
+//
+//	"*"                 wildcard
+//	{}                  empty
+//	5, 1.5, "x", true   constant
+//	[lo .. hi]          inclusive range
+//	{a, b, c}           enumeration
+func ParsePattern(s string) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Pattern{}, fmt.Errorf("punct: empty pattern text")
+	case s == "*":
+		return Star(), nil
+	case s[0] == '[':
+		if s[len(s)-1] != ']' {
+			return Pattern{}, fmt.Errorf("punct: unterminated range %q", s)
+		}
+		body := s[1 : len(s)-1]
+		parts := strings.SplitN(body, "..", 2)
+		if len(parts) != 2 {
+			return Pattern{}, fmt.Errorf("punct: range %q needs 'lo .. hi'", s)
+		}
+		lo, err := value.Parse(parts[0])
+		if err != nil {
+			return Pattern{}, fmt.Errorf("punct: range low bound: %w", err)
+		}
+		hi, err := value.Parse(parts[1])
+		if err != nil {
+			return Pattern{}, fmt.Errorf("punct: range high bound: %w", err)
+		}
+		return NewRange(lo, hi)
+	case s[0] == '{':
+		if s[len(s)-1] != '}' {
+			return Pattern{}, fmt.Errorf("punct: unterminated enum %q", s)
+		}
+		body := strings.TrimSpace(s[1 : len(s)-1])
+		if body == "" {
+			return None(), nil
+		}
+		items, err := splitTopLevel(body)
+		if err != nil {
+			return Pattern{}, err
+		}
+		vals := make([]value.Value, 0, len(items))
+		for _, it := range items {
+			v, err := value.Parse(it)
+			if err != nil {
+				return Pattern{}, fmt.Errorf("punct: enum member: %w", err)
+			}
+			vals = append(vals, v)
+		}
+		return NewEnum(vals...)
+	default:
+		v, err := value.Parse(s)
+		if err != nil {
+			return Pattern{}, fmt.Errorf("punct: constant pattern: %w", err)
+		}
+		return Const(v), nil
+	}
+}
+
+// Parse parses the punctuation syntax emitted by Punctuation.String:
+// `<pat, pat, ...>` with at least one pattern.
+func Parse(s string) (Punctuation, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '<' || s[len(s)-1] != '>' {
+		return Punctuation{}, fmt.Errorf("punct: punctuation text must be <...>, got %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return Punctuation{}, fmt.Errorf("punct: punctuation %q has no patterns", s)
+	}
+	parts, err := splitTopLevel(body)
+	if err != nil {
+		return Punctuation{}, err
+	}
+	pats := make([]Pattern, 0, len(parts))
+	for _, p := range parts {
+		pat, err := ParsePattern(p)
+		if err != nil {
+			return Punctuation{}, err
+		}
+		pats = append(pats, pat)
+	}
+	return New(pats...)
+}
+
+// splitTopLevel splits on commas that are not nested inside brackets,
+// braces, or string quotes.
+func splitTopLevel(s string) ([]string, error) {
+	var (
+		parts    []string
+		depth    int
+		inString bool
+		start    int
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inString {
+			switch c {
+			case '\\':
+				i++ // skip escaped char
+			case '"':
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inString = true
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("punct: unbalanced %q in %q", string(c), s)
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inString {
+		return nil, fmt.Errorf("punct: unterminated string in %q", s)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("punct: unbalanced brackets in %q", s)
+	}
+	parts = append(parts, s[start:])
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, fmt.Errorf("punct: empty element in %q", s)
+		}
+	}
+	return parts, nil
+}

@@ -1,0 +1,344 @@
+package punct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pjoin/internal/value"
+)
+
+func iv(i int64) value.Value { return value.Int(i) }
+
+func TestPatternKindString(t *testing.T) {
+	names := map[PatternKind]string{
+		Wildcard: "wildcard", Constant: "constant", Range: "range",
+		Enum: "enum", Empty: "empty", PatternKind(99): "PatternKind(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestZeroPatternIsWildcard(t *testing.T) {
+	var p Pattern
+	if p.Kind() != Wildcard || !p.Matches(iv(123)) {
+		t.Error("zero Pattern should be wildcard")
+	}
+}
+
+func TestWildcardMatchesEverything(t *testing.T) {
+	w := Star()
+	for _, v := range []value.Value{iv(0), value.Float(1.5), value.Str("x"), value.Bool(false)} {
+		if !w.Matches(v) {
+			t.Errorf("wildcard should match %v", v)
+		}
+	}
+}
+
+func TestEmptyMatchesNothing(t *testing.T) {
+	e := None()
+	for _, v := range []value.Value{iv(0), value.Str(""), value.Bool(true)} {
+		if e.Matches(v) {
+			t.Errorf("empty should not match %v", v)
+		}
+	}
+}
+
+func TestConstantMatch(t *testing.T) {
+	c := Const(iv(5))
+	if !c.Matches(iv(5)) {
+		t.Error("Const(5) should match 5")
+	}
+	if c.Matches(iv(6)) || c.Matches(value.Float(5)) || c.Matches(value.Str("5")) {
+		t.Error("Const(5) should only match int 5")
+	}
+}
+
+func TestConstInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Const(zero Value) should panic")
+		}
+	}()
+	Const(value.Value{})
+}
+
+func TestRangeMatch(t *testing.T) {
+	r := MustRange(iv(10), iv(20))
+	for _, c := range []struct {
+		v    value.Value
+		want bool
+	}{
+		{iv(10), true}, {iv(15), true}, {iv(20), true},
+		{iv(9), false}, {iv(21), false},
+		{value.Str("15"), false}, {value.Float(15), false},
+	} {
+		if got := r.Matches(c.v); got != c.want {
+			t.Errorf("[10..20].Matches(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRangeNormalisation(t *testing.T) {
+	if p := MustRange(iv(5), iv(5)); p.Kind() != Constant || !p.ConstVal().Equal(iv(5)) {
+		t.Errorf("degenerate range should be Constant, got %v", p)
+	}
+	if p := MustRange(iv(7), iv(3)); p.Kind() != Empty {
+		t.Errorf("inverted range should be Empty, got %v", p)
+	}
+	if _, err := NewRange(iv(1), value.Str("x")); err == nil {
+		t.Error("mixed-kind range should error")
+	}
+}
+
+func TestStringRange(t *testing.T) {
+	r := MustRange(value.Str("apple"), value.Str("mango"))
+	if !r.Matches(value.Str("banana")) || r.Matches(value.Str("zebra")) {
+		t.Error("string range matching broken")
+	}
+}
+
+func TestEnumMatchAndNormalisation(t *testing.T) {
+	e := MustEnum(iv(3), iv(1), iv(2), iv(3))
+	if e.Kind() != Enum {
+		t.Fatalf("enum kind = %v", e.Kind())
+	}
+	ms := e.Members()
+	if len(ms) != 3 || !ms[0].Equal(iv(1)) || !ms[1].Equal(iv(2)) || !ms[2].Equal(iv(3)) {
+		t.Errorf("enum should be sorted deduped, got %v", ms)
+	}
+	if !e.Matches(iv(2)) || e.Matches(iv(4)) {
+		t.Error("enum matching broken")
+	}
+	if p := MustEnum(iv(9)); p.Kind() != Constant {
+		t.Errorf("singleton enum should normalise to Constant, got %v", p)
+	}
+	if p := MustEnum(); p.Kind() != Empty {
+		t.Errorf("empty enum should normalise to Empty, got %v", p)
+	}
+	if _, err := NewEnum(iv(1), value.Str("a")); err == nil {
+		t.Error("mixed-kind enum should error")
+	}
+	if _, err := NewEnum(value.Value{}); err == nil {
+		t.Error("invalid value in enum should error")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ConstVal on wildcard", func() { Star().ConstVal() })
+	mustPanic("Bounds on constant", func() { Const(iv(1)).Bounds() })
+	mustPanic("Members on range", func() { MustRange(iv(1), iv(2)).Members() })
+}
+
+func TestAndTruthTable(t *testing.T) {
+	r1020 := MustRange(iv(10), iv(20))
+	r1530 := MustRange(iv(15), iv(30))
+	r2530 := MustRange(iv(25), iv(30))
+	e123 := MustEnum(iv(1), iv(2), iv(3))
+	e234 := MustEnum(iv(2), iv(3), iv(4))
+	cases := []struct {
+		name string
+		a, b Pattern
+		want Pattern
+	}{
+		{"star and star", Star(), Star(), Star()},
+		{"star and const", Star(), Const(iv(5)), Const(iv(5))},
+		{"const and star", Const(iv(5)), Star(), Const(iv(5))},
+		{"empty absorbs", None(), Star(), None()},
+		{"empty absorbs rhs", r1020, None(), None()},
+		{"equal consts", Const(iv(5)), Const(iv(5)), Const(iv(5))},
+		{"diff consts", Const(iv(5)), Const(iv(6)), None()},
+		{"const in range", Const(iv(12)), r1020, Const(iv(12))},
+		{"range and const inside", r1020, Const(iv(12)), Const(iv(12))},
+		{"const outside range", Const(iv(9)), r1020, None()},
+		{"const in enum", Const(iv(2)), e123, Const(iv(2))},
+		{"const not in enum", Const(iv(9)), e123, None()},
+		{"overlapping ranges", r1020, r1530, MustRange(iv(15), iv(20))},
+		{"disjoint ranges", r1020, r2530, None()},
+		{"touching ranges", r1020, MustRange(iv(20), iv(40)), Const(iv(20))},
+		{"enum and enum", e123, e234, MustEnum(iv(2), iv(3))},
+		{"enum and range", e123, MustRange(iv(2), iv(9)), MustEnum(iv(2), iv(3))},
+		{"range and enum", MustRange(iv(2), iv(9)), e123, MustEnum(iv(2), iv(3))},
+		{"enum vs disjoint range", e123, MustRange(iv(7), iv(9)), None()},
+		{"mixed-kind ranges", r1020, MustRange(value.Str("a"), value.Str("z")), None()},
+		{"enum singleton result", e123, MustRange(iv(3), iv(9)), Const(iv(3))},
+	}
+	for _, c := range cases {
+		if got := c.a.And(c.b); !got.Equal(c.want) {
+			t.Errorf("%s: %v.And(%v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAndCommutative(t *testing.T) {
+	pats := samplePatterns()
+	for _, a := range pats {
+		for _, b := range pats {
+			ab, ba := a.And(b), b.And(a)
+			if !ab.Equal(ba) {
+				t.Errorf("And not commutative: %v.And(%v)=%v but %v.And(%v)=%v", a, b, ab, b, a, ba)
+			}
+		}
+	}
+}
+
+func TestAndIdempotent(t *testing.T) {
+	for _, a := range samplePatterns() {
+		if got := a.And(a); !got.Equal(a) {
+			t.Errorf("%v.And(itself) = %v", a, got)
+		}
+	}
+}
+
+// TestAndSemantics cross-checks And against direct evaluation: for every
+// probe value, v matches a.And(b) iff it matches both a and b.
+func TestAndSemantics(t *testing.T) {
+	pats := samplePatterns()
+	probes := []value.Value{}
+	for i := int64(-2); i <= 35; i++ {
+		probes = append(probes, iv(i))
+	}
+	probes = append(probes, value.Str("m"), value.Float(12))
+	for _, a := range pats {
+		for _, b := range pats {
+			ab := a.And(b)
+			for _, v := range probes {
+				want := a.Matches(v) && b.Matches(v)
+				if got := ab.Matches(v); got != want {
+					t.Fatalf("(%v And %v)=%v: Matches(%v)=%v, want %v", a, b, ab, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func samplePatterns() []Pattern {
+	return []Pattern{
+		Star(), None(),
+		Const(iv(5)), Const(iv(12)), Const(value.Str("m")),
+		MustRange(iv(10), iv(20)), MustRange(iv(0), iv(30)), MustRange(iv(21), iv(25)),
+		MustRange(value.Str("a"), value.Str("z")),
+		MustEnum(iv(1), iv(2), iv(3)), MustEnum(iv(12), iv(21)), MustEnum(iv(5), iv(15), iv(25)),
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q Pattern
+		want bool
+	}{
+		{"star contains range", Star(), MustRange(iv(1), iv(9)), true},
+		{"star contains star", Star(), Star(), true},
+		{"range contains empty", MustRange(iv(1), iv(2)), None(), true},
+		{"range not contains star", MustRange(iv(1), iv(2)), Star(), false},
+		{"range contains subrange", MustRange(iv(0), iv(100)), MustRange(iv(10), iv(20)), true},
+		{"range not contains overlap", MustRange(iv(0), iv(15)), MustRange(iv(10), iv(20)), false},
+		{"range contains const", MustRange(iv(0), iv(10)), Const(iv(5)), true},
+		{"range not contains const", MustRange(iv(0), iv(10)), Const(iv(50)), false},
+		{"enum contains enum", MustEnum(iv(1), iv(2), iv(3)), MustEnum(iv(1), iv(3)), true},
+		{"enum not contains enum", MustEnum(iv(1), iv(2)), MustEnum(iv(1), iv(3)), false},
+		{"enum covers int range", MustEnum(iv(4), iv(5), iv(6), iv(7)), MustRange(iv(5), iv(7)), true},
+		{"enum gap misses int range", MustEnum(iv(5), iv(7)), MustRange(iv(5), iv(7)), false},
+		{"enum cannot cover float range", MustEnum(value.Float(1), value.Float(2)), MustRange(value.Float(1), value.Float(2)), false},
+		{"const contains itself", Const(iv(3)), Const(iv(3)), true},
+		{"const not contains range", Const(iv(3)), MustRange(iv(3), iv(4)), false},
+	}
+	for _, c := range cases {
+		if got := c.p.Contains(c.q); got != c.want {
+			t.Errorf("%s: %v.Contains(%v) = %v, want %v", c.name, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// Contains must be consistent with And: p.Contains(q) implies p.And(q)
+// equals q.
+func TestContainsConsistentWithAnd(t *testing.T) {
+	pats := samplePatterns()
+	for _, p := range pats {
+		for _, q := range pats {
+			if p.Contains(q) {
+				if got := p.And(q); !got.Equal(q) {
+					t.Errorf("%v.Contains(%v) but And = %v", p, q, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	if !MustRange(iv(1), iv(5)).Disjoint(MustRange(iv(6), iv(9))) {
+		t.Error("disjoint ranges not detected")
+	}
+	if Const(iv(3)).Disjoint(MustRange(iv(1), iv(5))) {
+		t.Error("overlapping patterns reported disjoint")
+	}
+}
+
+func TestPatternStringRoundTrip(t *testing.T) {
+	for _, p := range samplePatterns() {
+		got, err := ParsePattern(p.String())
+		if err != nil {
+			t.Errorf("ParsePattern(%q): %v", p.String(), err)
+			continue
+		}
+		if !got.Equal(p) {
+			t.Errorf("round trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+}
+
+func TestQuickRangeAndIsIntersection(t *testing.T) {
+	f := func(a, b, c, d, probe int16) bool {
+		lo1, hi1 := int64(min(a, b)), int64(max(a, b))
+		lo2, hi2 := int64(min(c, d)), int64(max(c, d))
+		r1 := MustRange(iv(lo1), iv(hi1))
+		r2 := MustRange(iv(lo2), iv(hi2))
+		v := iv(int64(probe))
+		want := r1.Matches(v) && r2.Matches(v)
+		return r1.And(r2).Matches(v) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEnumAndIsIntersection(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(42))}
+	f := func(xs, ys []int8, probe int8) bool {
+		toEnum := func(ns []int8) Pattern {
+			vs := make([]value.Value, len(ns))
+			for i, n := range ns {
+				vs[i] = iv(int64(n))
+			}
+			p, err := NewEnum(vs...)
+			return ignoreErr(p, err)
+		}
+		e1, e2 := toEnum(xs), toEnum(ys)
+		v := iv(int64(probe))
+		want := e1.Matches(v) && e2.Matches(v)
+		return e1.And(e2).Matches(v) == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func ignoreErr(p Pattern, err error) Pattern {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

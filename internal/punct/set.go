@@ -1,0 +1,316 @@
+package punct
+
+import (
+	"fmt"
+	"strings"
+
+	"pjoin/internal/value"
+)
+
+// PID identifies a punctuation inside one Set. PIDs are assigned in
+// arrival order starting at 1; 0 means "no punctuation" and is the pid of
+// unindexed tuples (the paper's null pid, Fig. 2(b)).
+type PID uint64
+
+// NoPID is the null pid: the tuple has not been matched to any
+// punctuation yet.
+const NoPID PID = 0
+
+// Entry is one punctuation held in a Set together with the propagation
+// bookkeeping of the paper's punctuation index (Fig. 2(a)): a unique pid,
+// the count of state tuples currently matched to it, and whether the
+// index-build component has processed it yet.
+type Entry struct {
+	PID     PID
+	P       Punctuation
+	Count   int  // state tuples whose pid == PID
+	Indexed bool // index build has assigned tuples to this punctuation
+}
+
+// ExhaustiveOn reports whether the punctuation promises exhaustion of a
+// single attribute: "no future tuple whose attribute attr has value v"
+// follows from a punctuation only when EVERY other pattern is wildcard
+// (otherwise it merely excludes a subset of such tuples). This is the
+// precondition for using a punctuation in the cross-stream purge and
+// drop-on-the-fly rules, which reason about the join attribute alone.
+func (e *Entry) ExhaustiveOn(attr int) bool {
+	return exhaustiveOn(e.P, attr)
+}
+
+func exhaustiveOn(p Punctuation, attr int) bool {
+	if attr >= p.Width() {
+		return false
+	}
+	for i := 0; i < p.Width(); i++ {
+		if i == attr {
+			continue
+		}
+		if p.PatternAt(i).Kind() != Wildcard {
+			return false
+		}
+	}
+	return true
+}
+
+// Set is an arrival-ordered punctuation set PS(T) for one input stream
+// (§2.2). It supports the two derived predicates the purge and
+// propagation rules need — setMatch and count-to-zero detection — and
+// optionally verifies the paper's nested-or-disjoint assumption over the
+// join attribute.
+type Set struct {
+	entries []*Entry
+	next    PID
+
+	// verifyAttr >= 0 enables checking that each newly added punctuation's
+	// pattern on that attribute is either disjoint from or a superset of
+	// every earlier pattern (§2.2's Ptn_i ∧ Ptn_j ∈ {∅, Ptn_i}).
+	verifyAttr int
+
+	// keyAttr >= 0 enables a fast-path index over that attribute for
+	// SetMatchAttr/FirstMatchAttr: entries whose key pattern is a
+	// constant live in constIdx, the rest in nonConst. Per-tuple set
+	// matching (drop-on-the-fly, purge scans) is then O(1) amortised for
+	// the common constant-punctuation workloads instead of O(set size).
+	keyAttr  int
+	constIdx map[value.Value][]*Entry
+	nonConst []*Entry
+
+	// byPID resolves pids to entries in O(1); Get is on the per-purged-
+	// tuple path (count decrements).
+	byPID map[PID]*Entry
+}
+
+// NewSet returns an empty punctuation set with assumption verification
+// and key indexing disabled.
+func NewSet() *Set {
+	return &Set{next: 1, verifyAttr: -1, keyAttr: -1, byPID: make(map[PID]*Entry)}
+}
+
+// NewVerifiedSet returns an empty set that checks the nested-or-disjoint
+// assumption on join attribute attr for every Add, and indexes that
+// attribute for fast SetMatchAttr lookups.
+func NewVerifiedSet(attr int) *Set { return NewKeyedSet(attr, true) }
+
+// NewKeyedSet returns an empty set that indexes attribute attr for fast
+// SetMatchAttr/FirstMatchAttr lookups; verify additionally enables the
+// nested-or-disjoint assumption check on that attribute.
+func NewKeyedSet(attr int, verify bool) *Set {
+	if attr < 0 {
+		panic("punct: NewKeyedSet with negative attribute")
+	}
+	s := &Set{
+		next: 1, verifyAttr: -1, keyAttr: attr,
+		constIdx: make(map[value.Value][]*Entry),
+		byPID:    make(map[PID]*Entry),
+	}
+	if verify {
+		s.verifyAttr = attr
+	}
+	return s
+}
+
+// Len returns the number of punctuations currently in the set.
+func (s *Set) Len() int { return len(s.entries) }
+
+// Add appends p to the set, assigning the next pid, and returns its
+// entry. If verification is enabled and p violates the nested-or-disjoint
+// assumption against an earlier punctuation, Add reports an error and the
+// set is unchanged.
+func (s *Set) Add(p Punctuation) (*Entry, error) {
+	if p.IsZero() {
+		return nil, fmt.Errorf("punct: Add of zero punctuation")
+	}
+	if s.verifyAttr >= 0 {
+		if s.verifyAttr >= p.Width() {
+			return nil, fmt.Errorf("punct: verified attribute %d out of range for width %d", s.verifyAttr, p.Width())
+		}
+		np := p.PatternAt(s.verifyAttr)
+		for _, e := range s.entries {
+			old := e.P.PatternAt(s.verifyAttr)
+			// §2.2 requires each pair to be disjoint or nested. A new
+			// pattern CONTAINED in an earlier one is also accepted: it
+			// is a redundant re-promise (possible when the earlier
+			// entry is the union of compacted punctuations) and
+			// violates nothing semantically.
+			if !np.Disjoint(old) && !np.Contains(old) && !old.Contains(np) {
+				return nil, fmt.Errorf("punct: punctuation %s overlaps earlier %s on attribute %d without nesting",
+					p, e.P, s.verifyAttr)
+			}
+		}
+	}
+	e := &Entry{PID: s.next, P: p}
+	s.next++
+	s.entries = append(s.entries, e)
+	s.byPID[e.PID] = e
+	s.addToIndex(e)
+	return e, nil
+}
+
+// addToIndex classifies an entry for the keyed fast path. Entries that
+// are not exhaustive on the key attribute are indexed NOWHERE: they can
+// never satisfy an attribute-exhaustion query.
+func (s *Set) addToIndex(e *Entry) {
+	if s.keyAttr < 0 || !exhaustiveOn(e.P, s.keyAttr) {
+		return
+	}
+	if e.P.PatternAt(s.keyAttr).Kind() == Constant {
+		v := e.P.PatternAt(s.keyAttr).ConstVal()
+		s.constIdx[v] = append(s.constIdx[v], e)
+	} else {
+		s.nonConst = append(s.nonConst, e)
+	}
+}
+
+// Entries returns the entries in arrival order. The slice is shared; do
+// not append to it.
+func (s *Set) Entries() []*Entry { return s.entries }
+
+// Get returns the entry with the given pid, or nil.
+func (s *Set) Get(pid PID) *Entry { return s.byPID[pid] }
+
+// Remove deletes the entry with the given pid, preserving arrival order
+// of the rest, and reports whether it was present. Propagated
+// punctuations "are immediately removed from the punctuation set" (§3.5).
+func (s *Set) Remove(pid PID) bool {
+	for i, e := range s.entries {
+		if e.PID == pid {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			delete(s.byPID, pid)
+			s.dropFromIndex(e)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Set) dropFromIndex(e *Entry) {
+	if s.keyAttr < 0 || !exhaustiveOn(e.P, s.keyAttr) {
+		return
+	}
+	if e.P.PatternAt(s.keyAttr).Kind() == Constant {
+		v := e.P.PatternAt(s.keyAttr).ConstVal()
+		es := s.constIdx[v]
+		for i, x := range es {
+			if x == e {
+				es = append(es[:i], es[i+1:]...)
+				break
+			}
+		}
+		if len(es) == 0 {
+			delete(s.constIdx, v)
+		} else {
+			s.constIdx[v] = es
+		}
+		return
+	}
+	for i, x := range s.nonConst {
+		if x == e {
+			s.nonConst = append(s.nonConst[:i], s.nonConst[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetMatch implements setMatch(t, PS): whether any punctuation in the set
+// matches the tuple's attribute values (§2.2). This is the predicate of
+// the purge rules (eq. 1).
+func (s *Set) SetMatch(attrs []value.Value) bool {
+	for _, e := range s.entries {
+		if e.P.Matches(attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetMatchAttr reports whether any punctuation promises that no future
+// tuple will carry value v in attribute attr. This is the cross-stream
+// form of setMatch the purge rules use: a tuple of stream B is purged
+// when its join value is exhausted by stream A's punctuation set (§2.2,
+// "we only focus on exploiting punctuations over the join attribute").
+//
+// Only entries exhaustive on attr qualify (every other pattern
+// wildcard): a punctuation that also constrains other attributes merely
+// excludes a subset of the tuples carrying v, which licenses nothing.
+func (s *Set) SetMatchAttr(attr int, v value.Value) bool {
+	return s.FirstMatchAttr(attr, v) != nil
+}
+
+// FirstMatchAttr returns the earliest-arrived entry that exhausts value
+// v on attribute attr (see SetMatchAttr), or nil. When attr is the
+// set's indexed key attribute the lookup is O(1) plus the number of
+// non-constant patterns.
+func (s *Set) FirstMatchAttr(attr int, v value.Value) *Entry {
+	if attr != s.keyAttr {
+		for _, e := range s.entries {
+			if exhaustiveOn(e.P, attr) && e.P.PatternAt(attr).Matches(v) {
+				return e
+			}
+		}
+		return nil
+	}
+	var best *Entry
+	if es := s.constIdx[v]; len(es) > 0 {
+		best = es[0] // append order = arrival order
+	}
+	for _, e := range s.nonConst {
+		if best != nil && e.PID >= best.PID {
+			break // nonConst is in arrival order; nothing earlier follows
+		}
+		if e.P.PatternAt(attr).Matches(v) {
+			best = e
+			break
+		}
+	}
+	return best
+}
+
+// FirstMatch returns the earliest-arrived entry whose punctuation matches
+// the tuple, or nil. The punctuation index always assigns a tuple "the
+// pid of the first arrived punctuation found to be matched" (§3.5).
+func (s *Set) FirstMatch(attrs []value.Value) *Entry {
+	for _, e := range s.entries {
+		if e.P.Matches(attrs) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Unindexed returns the entries not yet processed by index build, in
+// arrival order (the pIndexSet of Fig. 3, lines 2-6).
+func (s *Set) Unindexed() []*Entry {
+	var out []*Entry
+	for _, e := range s.entries {
+		if !e.Indexed {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Propagable returns the indexed entries whose count is zero: by
+// Theorem 1 these punctuations can be released downstream now.
+func (s *Set) Propagable() []*Entry {
+	var out []*Entry
+	for _, e := range s.entries {
+		if e.Indexed && e.Count == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the set as "{pid:punct#count, ...}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.entries {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%s#%d", e.PID, e.P, e.Count)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package shj
+
+import (
+	"testing"
+
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+var (
+	scA = stream.MustSchema("A",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "p", Kind: value.KindString},
+	)
+	scB = stream.MustSchema("B",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "q", Kind: value.KindString},
+	)
+)
+
+func TestNewValidation(t *testing.T) {
+	sink := &op.Collector{}
+	if _, err := New(nil, scB, 0, 0, sink); err == nil {
+		t.Error("nil schema should error")
+	}
+	if _, err := New(scA, scB, 0, 0, nil); err == nil {
+		t.Error("nil emitter should error")
+	}
+	if _, err := New(scA, scB, 7, 0, sink); err == nil {
+		t.Error("attr range should error")
+	}
+	if _, err := New(scA, scB, 0, 1, sink); err == nil {
+		t.Error("kind mismatch should error")
+	}
+}
+
+func TestJoinAndOrientation(t *testing.T) {
+	sink := &op.Collector{}
+	j, err := New(scA, scB, 0, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stream.MustTuple(scA, 1, value.Int(5), value.Str("a"))
+	b := stream.MustTuple(scB, 2, value.Int(5), value.Str("b"))
+	if err := j.Process(0, stream.TupleItem(a), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Process(1, stream.TupleItem(b), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Either arrival order produces A-first results.
+	b2 := stream.MustTuple(scB, 3, value.Int(6), value.Str("b2"))
+	a2 := stream.MustTuple(scA, 4, value.Int(6), value.Str("a2"))
+	j.Process(1, stream.TupleItem(b2), 3)
+	j.Process(0, stream.TupleItem(a2), 4)
+	got := sink.Tuples()
+	if len(got) != 2 {
+		t.Fatalf("results = %d", len(got))
+	}
+	for _, r := range got {
+		if r.Values[1].Kind() != value.KindString || r.Values[3].Kind() != value.KindString {
+			t.Fatalf("bad widths: %v", r)
+		}
+		if r.Values[1].StrVal()[0] != 'a' || r.Values[3].StrVal()[0] != 'b' {
+			t.Errorf("orientation wrong: %v", r)
+		}
+	}
+	if j.StateTuples() != 4 {
+		t.Errorf("state = %d", j.StateTuples())
+	}
+}
+
+func TestPunctuationsIgnored(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(scA, scB, 0, 0, sink)
+	p := stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(1))), 1)
+	if err := j.Process(0, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Items) != 0 {
+		t.Error("punctuation leaked through")
+	}
+}
+
+func TestProtocol(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(scA, scB, 0, 0, sink)
+	if err := j.Finish(0); err == nil {
+		t.Error("Finish before EOS should error")
+	}
+	if err := j.Process(3, stream.EOSItem(1), 1); err == nil {
+		t.Error("bad port should error")
+	}
+	j.Process(0, stream.EOSItem(1), 1)
+	if err := j.Process(0, stream.EOSItem(2), 2); err == nil {
+		t.Error("dup EOS should error")
+	}
+	j.Process(1, stream.EOSItem(3), 3)
+	if err := j.Finish(4); err != nil {
+		t.Fatal(err)
+	}
+	if last := sink.Items[len(sink.Items)-1]; last.Kind != stream.KindEOS {
+		t.Error("EOS not forwarded")
+	}
+	if err := j.Finish(5); err == nil {
+		t.Error("double Finish should error")
+	}
+	if err := j.Process(0, p(t), 6); err == nil {
+		t.Error("Process after Finish should error")
+	}
+	if did, _ := j.OnIdle(7); did {
+		t.Error("SHJ has no idle work")
+	}
+}
+
+func p(t *testing.T) stream.Item {
+	t.Helper()
+	return stream.TupleItem(stream.MustTuple(scA, 6, value.Int(1), value.Str("x")))
+}
+
+func TestMetadata(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(scA, scB, 0, 0, sink)
+	if j.Name() != "shj" || j.NumPorts() != 2 || j.OutSchema().Width() != 4 {
+		t.Error("metadata wrong")
+	}
+}

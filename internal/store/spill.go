@@ -1,0 +1,269 @@
+// Package store implements the shared join state of PJoin and XJoin
+// (paper §3.1): one State per input stream, each a hash table whose
+// buckets have an in-memory portion and an on-disk portion, plus a purge
+// buffer for tuples that are logically purged but may still owe left-over
+// joins against disk-resident tuples of the opposite state.
+//
+// The on-disk portion is abstracted behind SpillStore with two
+// implementations: a real temp-file store and an in-memory simulated disk
+// with byte/op accounting (used by the cost-model simulator so
+// experiments do not depend on host filesystem speed).
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// IOStats counts traffic through a SpillStore. The simulator charges
+// virtual time for these; benches report them.
+type IOStats struct {
+	WriteOps     int64
+	ReadOps      int64
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// SpillStore is the secondary-storage abstraction: an append-only byte
+// log per partition (one partition per hash bucket per state).
+type SpillStore interface {
+	// Append appends data to the partition's log.
+	Append(partition int, data []byte) error
+	// Read returns the partition's entire contents. The returned slice
+	// must not be retained across the next Append/Truncate.
+	Read(partition int) ([]byte, error)
+	// Truncate discards the partition's contents.
+	Truncate(partition int) error
+	// Size returns the partition's length in bytes.
+	Size(partition int) (int64, error)
+	// Stats returns cumulative I/O counters.
+	Stats() IOStats
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// MemSpill is an in-memory SpillStore simulating a disk: contents live in
+// byte slices but all traffic is counted, letting the simulator charge
+// I/O costs deterministically.
+type MemSpill struct {
+	mu    sync.Mutex
+	parts map[int][]byte
+	stats IOStats
+	done  bool
+}
+
+// NewMemSpill returns an empty simulated disk.
+func NewMemSpill() *MemSpill {
+	return &MemSpill{parts: make(map[int][]byte)}
+}
+
+// Append implements SpillStore.
+func (m *MemSpill) Append(partition int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return fmt.Errorf("store: append to closed MemSpill")
+	}
+	m.parts[partition] = append(m.parts[partition], data...)
+	m.stats.WriteOps++
+	m.stats.BytesWritten += int64(len(data))
+	return nil
+}
+
+// Read implements SpillStore.
+func (m *MemSpill) Read(partition int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, fmt.Errorf("store: read from closed MemSpill")
+	}
+	p := m.parts[partition]
+	m.stats.ReadOps++
+	m.stats.BytesRead += int64(len(p))
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out, nil
+}
+
+// Truncate implements SpillStore.
+func (m *MemSpill) Truncate(partition int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return fmt.Errorf("store: truncate on closed MemSpill")
+	}
+	delete(m.parts, partition)
+	return nil
+}
+
+// Size implements SpillStore.
+func (m *MemSpill) Size(partition int) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.parts[partition])), nil
+}
+
+// Stats implements SpillStore.
+func (m *MemSpill) Stats() IOStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close implements SpillStore.
+func (m *MemSpill) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done = true
+	m.parts = nil
+	return nil
+}
+
+// FileSpill is a SpillStore backed by one file per partition under a
+// directory, for running the operators against a real disk.
+type FileSpill struct {
+	mu    sync.Mutex
+	dir   string
+	files map[int]*os.File
+	stats IOStats
+	done  bool
+}
+
+// NewFileSpill creates a spill store in a fresh subdirectory of dir
+// (os.TempDir() if dir is empty). Close removes the directory.
+func NewFileSpill(dir string) (*FileSpill, error) {
+	d, err := os.MkdirTemp(dir, "pjoin-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: create spill dir: %w", err)
+	}
+	return &FileSpill{dir: d, files: make(map[int]*os.File)}, nil
+}
+
+// Dir returns the directory holding the partition files.
+func (f *FileSpill) Dir() string { return f.dir }
+
+func (f *FileSpill) file(partition int) (*os.File, error) {
+	if fh, ok := f.files[partition]; ok {
+		return fh, nil
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("part-%06d.bin", partition))
+	fh, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("store: open partition %d: %w", partition, err)
+	}
+	f.files[partition] = fh
+	return fh, nil
+}
+
+// Append implements SpillStore.
+func (f *FileSpill) Append(partition int, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return fmt.Errorf("store: append to closed FileSpill")
+	}
+	fh, err := f.file(partition)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Seek(0, 2); err != nil {
+		return fmt.Errorf("store: seek partition %d: %w", partition, err)
+	}
+	n, err := fh.Write(data)
+	f.stats.WriteOps++
+	f.stats.BytesWritten += int64(n)
+	if err != nil {
+		return fmt.Errorf("store: write partition %d: %w", partition, err)
+	}
+	return nil
+}
+
+// Read implements SpillStore.
+func (f *FileSpill) Read(partition int) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return nil, fmt.Errorf("store: read from closed FileSpill")
+	}
+	fh, err := f.file(partition)
+	if err != nil {
+		return nil, err
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat partition %d: %w", partition, err)
+	}
+	buf := make([]byte, st.Size())
+	if _, err := fh.ReadAt(buf, 0); err != nil && st.Size() > 0 {
+		return nil, fmt.Errorf("store: read partition %d: %w", partition, err)
+	}
+	f.stats.ReadOps++
+	f.stats.BytesRead += int64(len(buf))
+	return buf, nil
+}
+
+// Truncate implements SpillStore.
+func (f *FileSpill) Truncate(partition int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return fmt.Errorf("store: truncate on closed FileSpill")
+	}
+	fh, ok := f.files[partition]
+	if !ok {
+		return nil
+	}
+	if err := fh.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate partition %d: %w", partition, err)
+	}
+	return nil
+}
+
+// Size implements SpillStore.
+func (f *FileSpill) Size(partition int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fh, ok := f.files[partition]
+	if !ok {
+		return 0, nil
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: stat partition %d: %w", partition, err)
+	}
+	return st.Size(), nil
+}
+
+// Stats implements SpillStore.
+func (f *FileSpill) Stats() IOStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Close implements SpillStore, removing all partition files.
+func (f *FileSpill) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return nil
+	}
+	f.done = true
+	var firstErr error
+	for _, fh := range f.files {
+		if err := fh.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := os.RemoveAll(f.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+var (
+	_ SpillStore = (*MemSpill)(nil)
+	_ SpillStore = (*FileSpill)(nil)
+)

@@ -1,0 +1,352 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+// InMemory is the DTS (departure timestamp) of a tuple that is still in
+// the memory-resident portion of its bucket. Once a tuple is relocated to
+// disk or moved to the purge buffer its DTS is set to that moment and
+// never changes again; the [ATS, DTS) residence interval is what the
+// disk-join duplicate avoidance reasons about.
+const InMemory stream.Time = math.MaxInt64
+
+// StoredTuple is a tuple held in a join state, augmented with the
+// punctuation-index pid (Fig. 2(b) of the paper; NoPID = null) and its
+// memory-residence interval end.
+type StoredTuple struct {
+	T   *stream.Tuple
+	PID punct.PID
+	DTS stream.Time
+}
+
+// ATS returns the tuple's arrival timestamp (start of memory residence).
+func (s *StoredTuple) ATS() stream.Time { return s.T.Ts }
+
+// Resident reports whether the tuple is still memory-resident.
+func (s *StoredTuple) Resident() bool { return s.DTS == InMemory }
+
+// Overlaps reports whether the memory-residence intervals of s and o
+// overlapped. Two tuples whose residence overlapped were joined by the
+// memory join when the later one arrived, so disk joins must skip such
+// pairs.
+func (s *StoredTuple) Overlaps(o *StoredTuple) bool {
+	return s.ATS() < o.DTS && o.ATS() < s.DTS
+}
+
+// Bucket is one hash bucket of a State: a memory-resident portion, a
+// purge buffer (tuples purged by punctuations that may still owe
+// left-over joins against the opposite state's disk portion, §3.1), and
+// accounting for the on-disk portion.
+type Bucket struct {
+	Mem        []*StoredTuple
+	PurgeBuf   []*StoredTuple
+	DiskTuples int
+	DiskBytes  int64
+}
+
+// Stats summarises a State's size. TotalTuples is the paper's "number of
+// tuples in the join state" metric (memory + purge buffer + disk).
+type Stats struct {
+	MemTuples   int
+	PurgeTuples int
+	DiskTuples  int
+	MemBytes    int64
+	DiskBytes   int64
+}
+
+// TotalTuples returns the full state size in tuples.
+func (s Stats) TotalTuples() int { return s.MemTuples + s.PurgeTuples + s.DiskTuples }
+
+// State is the join state for one input stream: a hash table over the
+// join attribute. All mutation goes through State methods so the size
+// accounting stays consistent.
+type State struct {
+	name  string
+	attr  int
+	spill SpillStore
+	bkts  []Bucket
+	stats Stats
+}
+
+// NewState creates a state named name (used in errors) hashing on
+// attribute index attr with nbuckets buckets, spilling to spill.
+func NewState(name string, attr, nbuckets int, spill SpillStore) (*State, error) {
+	if attr < 0 {
+		return nil, fmt.Errorf("store: state %s: negative join attribute %d", name, attr)
+	}
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("store: state %s: need at least one bucket, got %d", name, nbuckets)
+	}
+	if spill == nil {
+		return nil, fmt.Errorf("store: state %s: nil spill store", name)
+	}
+	return &State{name: name, attr: attr, spill: spill, bkts: make([]Bucket, nbuckets)}, nil
+}
+
+// Name returns the state's stream name.
+func (st *State) Name() string { return st.name }
+
+// Attr returns the join attribute index.
+func (st *State) Attr() int { return st.attr }
+
+// NumBuckets returns the bucket count.
+func (st *State) NumBuckets() int { return len(st.bkts) }
+
+// Bucket returns bucket i for inspection. Callers must not mutate it
+// directly; use the State methods.
+func (st *State) Bucket(i int) *Bucket { return &st.bkts[i] }
+
+// Stats returns the current size accounting.
+func (st *State) Stats() Stats { return st.stats }
+
+// Key returns t's join-attribute value.
+func (st *State) Key(t *stream.Tuple) value.Value { return t.Values[st.attr] }
+
+// BucketOf returns the bucket index for a join value.
+func (st *State) BucketOf(key value.Value) int {
+	return int(key.Hash() % uint64(len(st.bkts)))
+}
+
+// Insert adds a new arrival to the memory-resident portion of its bucket
+// and returns the stored wrapper.
+func (st *State) Insert(t *stream.Tuple) (*StoredTuple, error) {
+	if len(t.Values) <= st.attr {
+		return nil, fmt.Errorf("store: state %s: tuple width %d lacks join attribute %d", st.name, len(t.Values), st.attr)
+	}
+	s := &StoredTuple{T: t, PID: punct.NoPID, DTS: InMemory}
+	b := &st.bkts[st.BucketOf(st.Key(t))]
+	b.Mem = append(b.Mem, s)
+	st.stats.MemTuples++
+	st.stats.MemBytes += int64(t.EncodedSize())
+	return s, nil
+}
+
+// ProbeMem appends to dst the memory-resident tuples whose join attribute
+// equals key, in arrival order, and returns the extended slice. The
+// number of tuples *examined* (bucket occupancy) is returned too, for
+// cost accounting: probing walks the whole bucket.
+func (st *State) ProbeMem(key value.Value, dst []*StoredTuple) (matches []*StoredTuple, examined int) {
+	b := &st.bkts[st.BucketOf(key)]
+	for _, s := range b.Mem {
+		if st.Key(s.T).Equal(key) {
+			dst = append(dst, s)
+		}
+	}
+	return dst, len(b.Mem)
+}
+
+// MemBytes returns the in-memory byte accounting (mem portion only; the
+// purge buffer is counted separately since it is about to leave).
+func (st *State) MemBytes() int64 { return st.stats.MemBytes }
+
+// FilterMem removes from bucket i's memory portion every tuple for which
+// drop returns true and returns the removed tuples. Accounting is
+// updated; the caller handles pid-count bookkeeping and purge-buffer
+// placement of the removed tuples.
+func (st *State) FilterMem(i int, drop func(*StoredTuple) bool) []*StoredTuple {
+	b := &st.bkts[i]
+	var removed []*StoredTuple
+	kept := b.Mem[:0]
+	for _, s := range b.Mem {
+		if drop(s) {
+			removed = append(removed, s)
+			st.stats.MemTuples--
+			st.stats.MemBytes -= int64(s.T.EncodedSize())
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	// Zero the tail so dropped tuples are collectable.
+	for j := len(kept); j < len(b.Mem); j++ {
+		b.Mem[j] = nil
+	}
+	b.Mem = kept
+	return removed
+}
+
+// ExpireMemPrefix removes and returns the leading memory-resident tuples
+// of bucket i whose arrival timestamp is before cutoff. Because the
+// memory portion is kept in arrival order, expired tuples form a prefix
+// and the scan stops at the first still-valid tuple — the sliding-window
+// invalidation optimisation of the paper's §6.
+func (st *State) ExpireMemPrefix(i int, cutoff stream.Time) []*StoredTuple {
+	b := &st.bkts[i]
+	n := 0
+	for n < len(b.Mem) && b.Mem[n].T.Ts < cutoff {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	expired := make([]*StoredTuple, n)
+	copy(expired, b.Mem[:n])
+	rest := b.Mem[n:]
+	// Shift in place so the backing array doesn't pin expired tuples.
+	copy(b.Mem, rest)
+	for j := len(rest); j < len(b.Mem); j++ {
+		b.Mem[j] = nil
+	}
+	b.Mem = b.Mem[:len(rest)]
+	st.stats.MemTuples -= n
+	for _, s := range expired {
+		st.stats.MemBytes -= int64(s.T.EncodedSize())
+	}
+	return expired
+}
+
+// AddToPurgeBuffer stamps the tuple's departure time and parks it in
+// bucket i's purge buffer. The tuple must already have been removed from
+// the memory portion (via FilterMem).
+func (st *State) AddToPurgeBuffer(i int, s *StoredTuple, now stream.Time) {
+	s.DTS = now
+	st.bkts[i].PurgeBuf = append(st.bkts[i].PurgeBuf, s)
+	st.stats.PurgeTuples++
+}
+
+// TakePurgeBuffer empties bucket i's purge buffer and returns its
+// contents; the caller completes their left-over joins and decrements
+// punctuation counts.
+func (st *State) TakePurgeBuffer(i int) []*StoredTuple {
+	b := &st.bkts[i]
+	out := b.PurgeBuf
+	b.PurgeBuf = nil
+	st.stats.PurgeTuples -= len(out)
+	return out
+}
+
+// SpillBucket relocates bucket i's entire memory portion to disk,
+// stamping each tuple's DTS with now (paper §3.3, following XJoin's
+// memory-overflow resolution). It returns the number of tuples moved.
+func (st *State) SpillBucket(i int, now stream.Time) (int, error) {
+	b := &st.bkts[i]
+	if len(b.Mem) == 0 {
+		return 0, nil
+	}
+	var buf []byte
+	for _, s := range b.Mem {
+		s.DTS = now
+		buf = appendStored(buf, s)
+	}
+	if err := st.spill.Append(i, buf); err != nil {
+		return 0, fmt.Errorf("store: state %s: spill bucket %d: %w", st.name, i, err)
+	}
+	n := len(b.Mem)
+	b.DiskTuples += n
+	b.DiskBytes += int64(len(buf))
+	st.stats.DiskTuples += n
+	st.stats.DiskBytes += int64(len(buf))
+	st.stats.MemTuples -= n
+	for _, s := range b.Mem {
+		st.stats.MemBytes -= int64(s.T.EncodedSize())
+	}
+	b.Mem = nil
+	return n, nil
+}
+
+// LargestMemBucket returns the index of the bucket with the most
+// memory-resident tuples (the spill victim XJoin picks), or -1 if the
+// whole memory portion is empty.
+func (st *State) LargestMemBucket() int {
+	best, bestN := -1, 0
+	for i := range st.bkts {
+		if n := len(st.bkts[i].Mem); n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// ReadDisk decodes and returns bucket i's on-disk portion in spill order.
+func (st *State) ReadDisk(i int) ([]*StoredTuple, error) {
+	b := &st.bkts[i]
+	if b.DiskTuples == 0 {
+		return nil, nil
+	}
+	raw, err := st.spill.Read(i)
+	if err != nil {
+		return nil, fmt.Errorf("store: state %s: read bucket %d: %w", st.name, i, err)
+	}
+	out := make([]*StoredTuple, 0, b.DiskTuples)
+	off := 0
+	for off < len(raw) {
+		s, n, err := decodeStored(raw[off:])
+		if err != nil {
+			return nil, fmt.Errorf("store: state %s: decode bucket %d at offset %d: %w", st.name, i, off, err)
+		}
+		out = append(out, s)
+		off += n
+	}
+	if len(out) != b.DiskTuples {
+		return nil, fmt.Errorf("store: state %s: bucket %d holds %d tuples, accounting says %d",
+			st.name, i, len(out), b.DiskTuples)
+	}
+	return out, nil
+}
+
+// RewriteDisk replaces bucket i's on-disk portion with the given tuples
+// (used by disk-side purge: read, filter, write back). Tuples keep their
+// existing DTS stamps.
+func (st *State) RewriteDisk(i int, tuples []*StoredTuple) error {
+	b := &st.bkts[i]
+	if err := st.spill.Truncate(i); err != nil {
+		return fmt.Errorf("store: state %s: truncate bucket %d: %w", st.name, i, err)
+	}
+	st.stats.DiskTuples -= b.DiskTuples
+	st.stats.DiskBytes -= b.DiskBytes
+	b.DiskTuples = 0
+	b.DiskBytes = 0
+	if len(tuples) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, s := range tuples {
+		buf = appendStored(buf, s)
+	}
+	if err := st.spill.Append(i, buf); err != nil {
+		return fmt.Errorf("store: state %s: rewrite bucket %d: %w", st.name, i, err)
+	}
+	b.DiskTuples = len(tuples)
+	b.DiskBytes = int64(len(buf))
+	st.stats.DiskTuples += len(tuples)
+	st.stats.DiskBytes += int64(len(buf))
+	return nil
+}
+
+// HasDisk reports whether bucket i has a non-empty on-disk portion.
+func (st *State) HasDisk(i int) bool { return st.bkts[i].DiskTuples > 0 }
+
+// AnyDisk reports whether any bucket has an on-disk portion.
+func (st *State) AnyDisk() bool { return st.stats.DiskTuples > 0 }
+
+// appendStored encodes a stored tuple: pid uvarint, DTS 8 bytes, then the
+// tuple encoding.
+func appendStored(dst []byte, s *StoredTuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.PID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.DTS))
+	return s.T.AppendBinary(dst)
+}
+
+func decodeStored(b []byte) (*StoredTuple, int, error) {
+	pid, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("bad pid varint")
+	}
+	off := sz
+	if len(b) < off+8 {
+		return nil, 0, fmt.Errorf("truncated DTS")
+	}
+	dts := stream.Time(binary.LittleEndian.Uint64(b[off:]))
+	off += 8
+	t, n, err := stream.DecodeTuple(b[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return &StoredTuple{T: t, PID: punct.PID(pid), DTS: dts}, off + n, nil
+}

@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pjoin/internal/value"
+)
+
+// AppendBinary appends a compact binary encoding of the tuple to dst:
+// uvarint value count, 8-byte little-endian timestamp, then each value in
+// the value package's binary format. DecodeTuple reverses it. The spill
+// store uses this format for on-disk partitions.
+func (t *Tuple) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t.Values)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Ts))
+	for _, v := range t.Values {
+		dst = v.AppendBinary(dst)
+	}
+	return dst
+}
+
+// EncodedSize returns the number of bytes AppendBinary emits for t. The
+// state store uses it as the tuple's memory-accounting size so that
+// in-memory and on-disk accounting agree.
+func (t *Tuple) EncodedSize() int {
+	n := uvarintLen(uint64(len(t.Values))) + 8
+	for _, v := range t.Values {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeTuple decodes one tuple from the front of b, returning the tuple
+// and the number of bytes consumed.
+func DecodeTuple(b []byte) (*Tuple, int, error) {
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("stream: decode tuple: bad value count")
+	}
+	if count > uint64(len(b)) { // each value takes at least one byte
+		return nil, 0, fmt.Errorf("stream: decode tuple: implausible value count %d", count)
+	}
+	off := sz
+	if len(b) < off+8 {
+		return nil, 0, fmt.Errorf("stream: decode tuple: truncated timestamp")
+	}
+	ts := Time(binary.LittleEndian.Uint64(b[off:]))
+	off += 8
+	vals := make([]value.Value, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, n, err := value.Decode(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("stream: decode tuple value %d: %w", i, err)
+		}
+		vals = append(vals, v)
+		off += n
+	}
+	return &Tuple{Values: vals, Ts: ts}, off, nil
+}

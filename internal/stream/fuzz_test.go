@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"pjoin/internal/value"
+)
+
+// FuzzDecodeTuple checks the spill decoder never panics and accepted
+// tuples re-encode to the consumed bytes.
+func FuzzDecodeTuple(f *testing.F) {
+	sc := MustSchema("S",
+		Field{Name: "a", Kind: value.KindInt},
+		Field{Name: "b", Kind: value.KindString},
+	)
+	f.Add(MustTuple(sc, 9, value.Int(1), value.Str("x")).AppendBinary(nil))
+	f.Add([]byte{0x80, 0x80})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tu, n, err := DecodeTuple(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		// Non-minimal varints are tolerated, so compare semantically.
+		re := tu.AppendBinary(nil)
+		tu2, n2, err := DecodeTuple(re)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-encoding does not decode: %v", err)
+		}
+		if tu2.Ts != tu.Ts || tu2.Width() != tu.Width() {
+			t.Fatalf("round trip %v -> %v", tu, tu2)
+		}
+	})
+}
+
+// FuzzReadItems checks the text-format reader never panics; accepted
+// inputs round-trip through WriteItems.
+func FuzzReadItems(f *testing.F) {
+	f.Add("t 1 5, \"x\"\np 2 <5, *>\ne 3\n")
+	f.Add("# comment\n\nt 10 -3, \"a, b\"\n")
+	f.Add("t x y")
+	f.Add("q 1 boom")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc := MustSchema("S",
+			Field{Name: "k", Kind: value.KindInt},
+			Field{Name: "p", Kind: value.KindString},
+		)
+		items, err := ReadItems(strings.NewReader(s), sc)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteItems(&b, items); err != nil {
+			t.Fatalf("accepted items fail to write: %v", err)
+		}
+		again, err := ReadItems(strings.NewReader(b.String()), sc)
+		if err != nil {
+			t.Fatalf("written text does not re-parse: %v\n%s", err, b.String())
+		}
+		if len(again) != len(items) {
+			t.Fatalf("round trip count %d -> %d", len(items), len(again))
+		}
+	})
+}

@@ -1,0 +1,258 @@
+// Package stream defines the data model flowing through operators:
+// schemas, tuples, punctuations-as-items, and end-of-stream markers.
+// A punctuated stream is a sequence of Items, each either a data Tuple or
+// a punctuation promising that no later tuple in the same stream matches
+// it (Tucker et al.; PJoin paper §2.2).
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"pjoin/internal/punct"
+	"pjoin/internal/value"
+)
+
+// Time is a stream timestamp in nanoseconds since the start of the run.
+// Both the live executor (wall clock) and the simulator (virtual clock)
+// produce it.
+type Time int64
+
+// Millis returns the timestamp in fractional milliseconds, the unit the
+// paper's charts use.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// Millisecond is one millisecond of stream time.
+const Millisecond Time = 1e6
+
+// Field describes one attribute of a schema.
+type Field struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of named, typed attributes. Schemas are
+// immutable after construction and shared by every tuple of a stream.
+type Schema struct {
+	name   string
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema. Field names must be unique and non-empty.
+func NewSchema(name string, fields ...Field) (*Schema, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("stream: schema %q needs at least one field", name)
+	}
+	idx := make(map[string]int, len(fields))
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("stream: schema %q field %d has empty name", name, i)
+		}
+		if f.Kind == value.KindInvalid {
+			return nil, fmt.Errorf("stream: schema %q field %q has invalid kind", name, f.Name)
+		}
+		if _, dup := idx[f.Name]; dup {
+			return nil, fmt.Errorf("stream: schema %q duplicates field %q", name, f.Name)
+		}
+		idx[f.Name] = i
+	}
+	fs := make([]Field, len(fields))
+	copy(fs, fields)
+	return &Schema{name: name, fields: fs, index: idx}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and examples.
+func MustSchema(name string, fields ...Field) *Schema {
+	s, err := NewSchema(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the schema's stream name.
+func (s *Schema) Name() string { return s.name }
+
+// Width returns the number of attributes.
+func (s *Schema) Width() int { return len(s.fields) }
+
+// FieldAt returns the i-th field.
+func (s *Schema) FieldAt(i int) Field { return s.fields[i] }
+
+// IndexOf returns the position of the named field, or an error.
+func (s *Schema) IndexOf(name string) (int, error) {
+	if i, ok := s.index[name]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("stream: schema %q has no field %q", s.name, name)
+}
+
+// MustIndexOf is IndexOf that panics on error.
+func (s *Schema) MustIndexOf(name string) int {
+	i, err := s.IndexOf(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Concat returns the schema of a join result: the fields of s followed by
+// the fields of t, with colliding names prefixed by their stream name.
+func (s *Schema) Concat(name string, t *Schema) (*Schema, error) {
+	fields := make([]Field, 0, len(s.fields)+len(t.fields))
+	seen := make(map[string]bool, cap(fields))
+	add := func(owner *Schema, f Field) {
+		n := f.Name
+		if seen[n] {
+			n = owner.name + "." + f.Name
+		}
+		seen[n] = true
+		fields = append(fields, Field{Name: n, Kind: f.Kind})
+	}
+	for _, f := range s.fields {
+		add(s, f)
+	}
+	for _, f := range t.fields {
+		add(t, f)
+	}
+	return NewSchema(name, fields...)
+}
+
+// String renders "name(field kind, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is one data element of a stream: the attribute values plus the
+// arrival timestamp assigned when it entered the system. Tuples are
+// treated as immutable once emitted.
+type Tuple struct {
+	Values []value.Value
+	Ts     Time
+}
+
+// NewTuple builds a tuple after validating the values against the schema.
+func NewTuple(s *Schema, ts Time, vals ...value.Value) (*Tuple, error) {
+	if len(vals) != s.Width() {
+		return nil, fmt.Errorf("stream: tuple width %d does not fit schema %s", len(vals), s)
+	}
+	for i, v := range vals {
+		if v.Kind() != s.fields[i].Kind {
+			return nil, fmt.Errorf("stream: field %q wants %s, got %s",
+				s.fields[i].Name, s.fields[i].Kind, v.Kind())
+		}
+	}
+	vs := make([]value.Value, len(vals))
+	copy(vs, vals)
+	return &Tuple{Values: vs, Ts: ts}, nil
+}
+
+// MustTuple is NewTuple that panics on error.
+func MustTuple(s *Schema, ts Time, vals ...value.Value) *Tuple {
+	t, err := NewTuple(s, ts, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Width returns the number of attribute values.
+func (t *Tuple) Width() int { return len(t.Values) }
+
+// Join returns the concatenation of t and u as a fresh result tuple whose
+// timestamp is the later of the two inputs' timestamps.
+func (t *Tuple) Join(u *Tuple) *Tuple {
+	vs := make([]value.Value, 0, len(t.Values)+len(u.Values))
+	vs = append(vs, t.Values...)
+	vs = append(vs, u.Values...)
+	ts := t.Ts
+	if u.Ts > ts {
+		ts = u.Ts
+	}
+	return &Tuple{Values: vs, Ts: ts}
+}
+
+// String renders "(v1, v2, ...)@ts".
+func (t *Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	fmt.Fprintf(&b, ")@%d", t.Ts)
+	return b.String()
+}
+
+// ItemKind discriminates stream items.
+type ItemKind uint8
+
+// Stream item kinds: a data tuple, a punctuation, or the end-of-stream
+// marker (no more items of any kind will follow).
+const (
+	KindTuple ItemKind = iota
+	KindPunct
+	KindEOS
+)
+
+// String returns the kind's name.
+func (k ItemKind) String() string {
+	switch k {
+	case KindTuple:
+		return "tuple"
+	case KindPunct:
+		return "punct"
+	case KindEOS:
+		return "eos"
+	default:
+		return fmt.Sprintf("ItemKind(%d)", uint8(k))
+	}
+}
+
+// Item is one element of a punctuated stream.
+type Item struct {
+	Kind  ItemKind
+	Tuple *Tuple            // set when Kind == KindTuple
+	Punct punct.Punctuation // set when Kind == KindPunct
+	Ts    Time              // arrival/emission timestamp of the item
+}
+
+// TupleItem wraps a tuple as a stream item.
+func TupleItem(t *Tuple) Item { return Item{Kind: KindTuple, Tuple: t, Ts: t.Ts} }
+
+// PunctItem wraps a punctuation as a stream item.
+func PunctItem(p punct.Punctuation, ts Time) Item {
+	return Item{Kind: KindPunct, Punct: p, Ts: ts}
+}
+
+// EOSItem returns the end-of-stream marker.
+func EOSItem(ts Time) Item { return Item{Kind: KindEOS, Ts: ts} }
+
+// String renders the item for logs.
+func (it Item) String() string {
+	switch it.Kind {
+	case KindTuple:
+		return it.Tuple.String()
+	case KindPunct:
+		return fmt.Sprintf("%s@%d", it.Punct, it.Ts)
+	case KindEOS:
+		return fmt.Sprintf("EOS@%d", it.Ts)
+	default:
+		return "<bad item>"
+	}
+}

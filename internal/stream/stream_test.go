@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pjoin/internal/punct"
+	"pjoin/internal/value"
+)
+
+func openSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema("Open",
+		Field{Name: "item_id", Kind: value.KindInt},
+		Field{Name: "seller", Kind: value.KindString},
+	)
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields []Field
+	}{
+		{"no fields", nil},
+		{"empty name", []Field{{Name: "", Kind: value.KindInt}}},
+		{"invalid kind", []Field{{Name: "x", Kind: value.KindInvalid}}},
+		{"duplicate", []Field{{Name: "x", Kind: value.KindInt}, {Name: "x", Kind: value.KindInt}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema("s", c.fields...); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := openSchema(t)
+	if s.Name() != "Open" || s.Width() != 2 {
+		t.Fatalf("schema basics broken: %v", s)
+	}
+	if f := s.FieldAt(1); f.Name != "seller" || f.Kind != value.KindString {
+		t.Errorf("FieldAt(1) = %v", f)
+	}
+	if i := s.MustIndexOf("item_id"); i != 0 {
+		t.Errorf("MustIndexOf(item_id) = %d", i)
+	}
+	if _, err := s.IndexOf("nope"); err == nil {
+		t.Error("IndexOf(nope) should error")
+	}
+	if got := s.String(); !strings.Contains(got, "item_id int") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaMustIndexOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	openSchema(t).MustIndexOf("nope")
+}
+
+func TestSchemaConcat(t *testing.T) {
+	open := openSchema(t)
+	bid := MustSchema("Bid",
+		Field{Name: "item_id", Kind: value.KindInt},
+		Field{Name: "bid_increase", Kind: value.KindFloat},
+	)
+	out, err := open.Concat("Out1", bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Width() != 4 {
+		t.Fatalf("concat width = %d", out.Width())
+	}
+	// First item_id keeps its name; the colliding one is prefixed.
+	if out.FieldAt(0).Name != "item_id" {
+		t.Errorf("field 0 = %q", out.FieldAt(0).Name)
+	}
+	if got := out.FieldAt(2).Name; got != "Bid.item_id" {
+		t.Errorf("colliding field = %q, want Bid.item_id", got)
+	}
+}
+
+func TestNewTupleValidation(t *testing.T) {
+	s := openSchema(t)
+	if _, err := NewTuple(s, 0, value.Int(1)); err == nil {
+		t.Error("width mismatch should error")
+	}
+	if _, err := NewTuple(s, 0, value.Str("x"), value.Str("y")); err == nil {
+		t.Error("kind mismatch should error")
+	}
+	tu, err := NewTuple(s, 5, value.Int(1), value.Str("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Ts != 5 || tu.Width() != 2 {
+		t.Errorf("tuple = %v", tu)
+	}
+}
+
+func TestTupleValuesCopied(t *testing.T) {
+	s := openSchema(t)
+	vals := []value.Value{value.Int(1), value.Str("a")}
+	tu := MustTuple(s, 0, vals...)
+	vals[0] = value.Int(99)
+	if tu.Values[0].IntVal() != 1 {
+		t.Error("NewTuple must copy its values")
+	}
+}
+
+func TestTupleJoin(t *testing.T) {
+	open := openSchema(t)
+	bid := MustSchema("Bid",
+		Field{Name: "item_id", Kind: value.KindInt},
+		Field{Name: "amt", Kind: value.KindFloat},
+	)
+	a := MustTuple(open, 10, value.Int(1), value.Str("alice"))
+	b := MustTuple(bid, 20, value.Int(1), value.Float(2.5))
+	j := a.Join(b)
+	if j.Width() != 4 || j.Ts != 20 {
+		t.Errorf("join = %v", j)
+	}
+	if !j.Values[3].Equal(value.Float(2.5)) {
+		t.Errorf("join values wrong: %v", j.Values)
+	}
+	// Timestamp is the max of both inputs regardless of order.
+	if got := b.Join(a).Ts; got != 20 {
+		t.Errorf("reverse join ts = %d", got)
+	}
+}
+
+func TestItems(t *testing.T) {
+	s := openSchema(t)
+	tu := MustTuple(s, 7, value.Int(1), value.Str("a"))
+	it := TupleItem(tu)
+	if it.Kind != KindTuple || it.Ts != 7 || it.Tuple != tu {
+		t.Errorf("TupleItem = %+v", it)
+	}
+	p := punct.MustKeyOnly(2, 0, punct.Const(value.Int(1)))
+	pi := PunctItem(p, 9)
+	if pi.Kind != KindPunct || pi.Ts != 9 || !pi.Punct.Equal(p) {
+		t.Errorf("PunctItem = %+v", pi)
+	}
+	eos := EOSItem(11)
+	if eos.Kind != KindEOS || eos.Ts != 11 {
+		t.Errorf("EOSItem = %+v", eos)
+	}
+	for _, i := range []Item{it, pi, eos} {
+		if i.String() == "" || strings.Contains(i.String(), "bad") {
+			t.Errorf("Item.String() = %q", i.String())
+		}
+	}
+}
+
+func TestItemKindString(t *testing.T) {
+	if KindTuple.String() != "tuple" || KindPunct.String() != "punct" || KindEOS.String() != "eos" {
+		t.Error("ItemKind names wrong")
+	}
+	if got := ItemKind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestTimeMillis(t *testing.T) {
+	if got := (Time(2_500_000)).Millis(); got != 2.5 {
+		t.Errorf("Millis = %g", got)
+	}
+	if Millisecond != 1e6 {
+		t.Errorf("Millisecond = %d", Millisecond)
+	}
+}
+
+func TestTupleBinaryRoundTrip(t *testing.T) {
+	s := MustSchema("mix",
+		Field{Name: "a", Kind: value.KindInt},
+		Field{Name: "b", Kind: value.KindString},
+		Field{Name: "c", Kind: value.KindFloat},
+		Field{Name: "d", Kind: value.KindBool},
+	)
+	tu := MustTuple(s, 1234, value.Int(-9), value.Str("hello"), value.Float(3.5), value.Bool(true))
+	enc := tu.AppendBinary(nil)
+	if len(enc) != tu.EncodedSize() {
+		t.Errorf("EncodedSize = %d, actual %d", tu.EncodedSize(), len(enc))
+	}
+	got, n, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) || got.Ts != tu.Ts || got.Width() != tu.Width() {
+		t.Fatalf("decode basics wrong: n=%d ts=%d w=%d", n, got.Ts, got.Width())
+	}
+	for i := range tu.Values {
+		if !got.Values[i].Equal(tu.Values[i]) {
+			t.Errorf("value %d: got %v want %v", i, got.Values[i], tu.Values[i])
+		}
+	}
+}
+
+func TestDecodeTupleErrors(t *testing.T) {
+	good := MustTuple(openSchema(t), 1, value.Int(1), value.Str("abc")).AppendBinary(nil)
+	bad := [][]byte{
+		nil,
+		{0x80},                      // unterminated uvarint
+		good[:3],                    // truncated timestamp
+		good[:12],                   // truncated values
+		{9, 0, 0, 0, 0, 0, 0, 0, 0}, // claims 9 values, has none
+	}
+	for i, b := range bad {
+		if tu, _, err := DecodeTuple(b); err == nil {
+			t.Errorf("case %d: DecodeTuple succeeded: %v", i, tu)
+		}
+	}
+}
+
+func TestDecodeTupleStream(t *testing.T) {
+	// Multiple tuples back to back must decode sequentially.
+	s := openSchema(t)
+	var buf []byte
+	for i := int64(0); i < 10; i++ {
+		buf = MustTuple(s, Time(i), value.Int(i), value.Str("s")).AppendBinary(buf)
+	}
+	off, count := 0, 0
+	for off < len(buf) {
+		tu, n, err := DecodeTuple(buf[off:])
+		if err != nil {
+			t.Fatalf("tuple %d: %v", count, err)
+		}
+		if tu.Values[0].IntVal() != int64(count) {
+			t.Fatalf("tuple %d out of order: %v", count, tu)
+		}
+		off += n
+		count++
+	}
+	if count != 10 {
+		t.Errorf("decoded %d tuples", count)
+	}
+}
+
+func TestQuickTupleRoundTrip(t *testing.T) {
+	s := MustSchema("q",
+		Field{Name: "k", Kind: value.KindInt},
+		Field{Name: "p", Kind: value.KindString},
+	)
+	f := func(k int64, p string, ts int64) bool {
+		tu := MustTuple(s, Time(ts), value.Int(k), value.Str(p))
+		got, n, err := DecodeTuple(tu.AppendBinary(nil))
+		if err != nil || n != tu.EncodedSize() {
+			return false
+		}
+		return got.Ts == tu.Ts && got.Values[0].Equal(tu.Values[0]) && got.Values[1].Equal(tu.Values[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pjoin/internal/punct"
+	"pjoin/internal/value"
+)
+
+// Text stream format: one item per line, blank lines and '#' comments
+// ignored.
+//
+//	t <ts> <v1>, <v2>, ...     data tuple (values in value syntax)
+//	p <ts> <pattern, ...>      punctuation (punct syntax)
+//	e <ts>                     end of stream
+//
+// Example:
+//
+//	# Open stream
+//	t 1000 5, "ada", 17.5
+//	p 2000 <5, *, *>
+//	e 3000
+//
+// WriteItems emits it; ReadItems parses and validates it against a
+// schema. The format exists so workloads can be stored, inspected and
+// replayed from plain files.
+
+// WriteItems writes the items in the text stream format.
+func WriteItems(w io.Writer, items []Item) error {
+	bw := bufio.NewWriter(w)
+	for _, it := range items {
+		switch it.Kind {
+		case KindTuple:
+			if _, err := fmt.Fprintf(bw, "t %d ", it.Tuple.Ts); err != nil {
+				return err
+			}
+			for i, v := range it.Tuple.Values {
+				if i > 0 {
+					if _, err := bw.WriteString(", "); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(v.String()); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		case KindPunct:
+			if _, err := fmt.Fprintf(bw, "p %d %s\n", it.Ts, it.Punct); err != nil {
+				return err
+			}
+		case KindEOS:
+			if _, err := fmt.Fprintf(bw, "e %d\n", it.Ts); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("stream: write: unknown item kind %v", it.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadItems parses the text stream format, validating tuples and
+// punctuations against the schema. Reading stops at EOF; an EOS line is
+// kept as an item but not required.
+func ReadItems(r io.Reader, schema *Schema) ([]Item, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("stream: read: nil schema")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Item
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		tsText, body, _ := strings.Cut(rest, " ")
+		ts, err := strconv.ParseInt(tsText, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad timestamp %q", lineNo, tsText)
+		}
+		body = strings.TrimSpace(body)
+		switch kind {
+		case "t":
+			fields, err := splitValues(body)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+			}
+			vals := make([]value.Value, 0, len(fields))
+			for _, f := range fields {
+				v, err := value.Parse(f)
+				if err != nil {
+					return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+				}
+				vals = append(vals, v)
+			}
+			t, err := NewTuple(schema, Time(ts), vals...)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+			}
+			out = append(out, TupleItem(t))
+		case "p":
+			p, err := punct.Parse(body)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+			}
+			if p.Width() != schema.Width() {
+				return nil, fmt.Errorf("stream: line %d: punctuation width %d, schema width %d",
+					lineNo, p.Width(), schema.Width())
+			}
+			out = append(out, PunctItem(p, Time(ts)))
+		case "e":
+			if body != "" {
+				return nil, fmt.Errorf("stream: line %d: trailing data after eos", lineNo)
+			}
+			out = append(out, EOSItem(Time(ts)))
+		default:
+			return nil, fmt.Errorf("stream: line %d: unknown item kind %q", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: read: %w", err)
+	}
+	return out, nil
+}
+
+// splitValues splits a comma-separated value list, honouring string
+// quoting (commas inside quoted strings do not split).
+func splitValues(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty tuple body")
+	}
+	var (
+		parts    []string
+		start    int
+		inString bool
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inString {
+			switch c {
+			case '\\':
+				i++
+			case '"':
+				inString = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inString = true
+		case ',':
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if inString {
+		return nil, fmt.Errorf("unterminated string in %q", s)
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("empty value in %q", s)
+		}
+	}
+	return parts, nil
+}

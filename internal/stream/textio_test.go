@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"pjoin/internal/punct"
+	"pjoin/internal/value"
+)
+
+func ioSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema("S",
+		Field{Name: "k", Kind: value.KindInt},
+		Field{Name: "name", Kind: value.KindString},
+		Field{Name: "score", Kind: value.KindFloat},
+	)
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	sc := ioSchema(t)
+	items := []Item{
+		TupleItem(MustTuple(sc, 10, value.Int(1), value.Str("ada, really"), value.Float(1.5))),
+		PunctItem(punct.MustKeyOnly(3, 0, punct.Const(value.Int(1))), 20),
+		TupleItem(MustTuple(sc, 30, value.Int(2), value.Str(`quote " and \ backslash`), value.Float(-2))),
+		PunctItem(punct.MustKeyOnly(3, 0, punct.MustRange(value.Int(2), value.Int(9))), 40),
+		PunctItem(punct.MustKeyOnly(3, 0, punct.MustEnum(value.Int(10), value.Int(12))), 50),
+		EOSItem(60),
+	}
+	var b strings.Builder
+	if err := WriteItems(&b, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadItems(strings.NewReader(b.String()), sc)
+	if err != nil {
+		t.Fatalf("%v\ntext was:\n%s", err, b.String())
+	}
+	if len(got) != len(items) {
+		t.Fatalf("items = %d, want %d", len(got), len(items))
+	}
+	for i := range items {
+		w, g := items[i], got[i]
+		if w.Kind != g.Kind || w.Ts != g.Ts {
+			t.Fatalf("item %d: kind/ts mismatch: %v vs %v", i, g, w)
+		}
+		switch w.Kind {
+		case KindTuple:
+			for j := range w.Tuple.Values {
+				if !g.Tuple.Values[j].Equal(w.Tuple.Values[j]) {
+					t.Errorf("item %d value %d: %v vs %v", i, j, g.Tuple.Values[j], w.Tuple.Values[j])
+				}
+			}
+		case KindPunct:
+			if !g.Punct.Equal(w.Punct) {
+				t.Errorf("item %d punct: %v vs %v", i, g.Punct, w.Punct)
+			}
+		}
+	}
+}
+
+func TestReadItemsCommentsAndBlanks(t *testing.T) {
+	sc := ioSchema(t)
+	text := `
+# a comment
+
+t 5 1, "x", 2.5
+   # indented comment
+e 9
+`
+	got, err := ReadItems(strings.NewReader(text), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != KindTuple || got[1].Kind != KindEOS {
+		t.Errorf("parsed %v", got)
+	}
+}
+
+func TestReadItemsErrors(t *testing.T) {
+	sc := ioSchema(t)
+	bad := []string{
+		"x 1 boo",                    // unknown kind
+		"t notanumber 1, \"a\", 2.0", // bad ts
+		"t 1 1, \"a\"",               // width mismatch
+		"t 1 \"a\", \"b\", 1.0",      // kind mismatch
+		"t 1 ",                       // empty body
+		"t 1 1,, 2.0",                // empty value
+		"t 1 1, \"unterminated, 2.0", // unterminated string
+		"p 1 <1, *>",                 // punct width mismatch
+		"p 1 garbage",                // bad punct
+		"e 1 trailing",               // eos with body
+	}
+	for _, line := range bad {
+		if items, err := ReadItems(strings.NewReader(line), sc); err == nil {
+			t.Errorf("line %q parsed: %v", line, items)
+		}
+	}
+	if _, err := ReadItems(strings.NewReader(""), nil); err == nil {
+		t.Error("nil schema should error")
+	}
+}
+
+func TestReadItemsEmptyInput(t *testing.T) {
+	got, err := ReadItems(strings.NewReader(""), ioSchema(t))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestWriteItemsFormatIsStable(t *testing.T) {
+	sc := ioSchema(t)
+	var b strings.Builder
+	WriteItems(&b, []Item{
+		TupleItem(MustTuple(sc, 7, value.Int(3), value.Str("x"), value.Float(0.5))),
+	})
+	want := "t 7 3, \"x\", 0.5\n"
+	if b.String() != want {
+		t.Errorf("format drifted: %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,86 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendBinary appends a compact binary encoding of v to dst and returns
+// the extended slice. The format is one kind byte followed by the payload:
+// 8 little-endian bytes for int/float, 1 byte for bool, and a uvarint
+// length-prefixed byte string for strings. Decode reverses it.
+func (v Value) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindInt, KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, v.num)
+	case KindBool:
+		dst = append(dst, byte(v.num))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	}
+	return dst
+}
+
+// Decode decodes one value from the front of b, returning the value and
+// the number of bytes consumed.
+func Decode(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("value: decode: empty buffer")
+	}
+	k := Kind(b[0])
+	rest := b[1:]
+	switch k {
+	case KindInt, KindFloat:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: decode: truncated %s payload", k)
+		}
+		return Value{kind: k, num: binary.LittleEndian.Uint64(rest)}, 9, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, fmt.Errorf("value: decode: truncated bool payload")
+		}
+		if rest[0] > 1 {
+			return Value{}, 0, fmt.Errorf("value: decode: bad bool payload %d", rest[0])
+		}
+		return Value{kind: k, num: uint64(rest[0])}, 2, nil
+	case KindString:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("value: decode: bad string length")
+		}
+		if uint64(len(rest)-sz) < n {
+			return Value{}, 0, fmt.Errorf("value: decode: truncated string payload")
+		}
+		s := string(rest[sz : sz+int(n)])
+		return Str(s), 1 + sz + int(n), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: decode: unknown kind byte %d", b[0])
+	}
+}
+
+// EncodedSize returns the number of bytes AppendBinary will emit for v.
+// The store uses it for memory/disk accounting without materialising the
+// encoding.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KindInt, KindFloat:
+		return 9
+	case KindBool:
+		return 2
+	case KindString:
+		return 1 + uvarintLen(uint64(len(v.str))) + len(v.str)
+	default:
+		return 1
+	}
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package value
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that everything it
+// accepts round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "-17", "3.5", "1e9", `"hello"`, `"a,b"`, "true", "false",
+		"NaN", "-Inf", `"unterminated`, "9999999999999999999999", "- 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("accepted %q -> %v, but String() %q does not re-parse: %v", s, v, v.String(), err)
+		}
+		// NaN is the one value that is not Equal to itself.
+		if !back.Equal(v) && !(v.Kind() == KindFloat && v.FloatVal() != v.FloatVal()) {
+			t.Fatalf("round trip %q -> %v -> %v", s, v, back)
+		}
+	})
+}
+
+// FuzzDecode checks the binary decoder never panics and that everything
+// it accepts re-encodes to the bytes it consumed.
+func FuzzDecode(f *testing.F) {
+	for _, v := range []Value{Int(-1), Float(3.5), Str("abc"), Bool(true)} {
+		f.Add(v.AppendBinary(nil))
+	}
+	f.Add([]byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		// The decoder tolerates non-minimal varints, so canonical bytes
+		// are not guaranteed — but the re-encoding must decode to the
+		// same value.
+		re := v.AppendBinary(nil)
+		v2, n2, err := Decode(re)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-encoding of %v does not decode: %v", v, err)
+		}
+		same := v2.Equal(v) ||
+			(v.Kind() == KindFloat && v.FloatVal() != v.FloatVal() && v2.FloatVal() != v2.FloatVal())
+		if !same {
+			t.Fatalf("round trip %v -> %v", v, v2)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package xjoin implements the XJoin operator (Urhan & Franklin) as the
+// paper's comparison baseline: a symmetric hash join that resolves
+// memory overflow by relocating partitions to secondary storage,
+// reactively schedules background disk joins while the inputs are
+// stalled, and runs a final clean-up pass at end-of-stream. XJoin has no
+// constraint-exploiting mechanism: punctuations are consumed and
+// discarded, and the state grows with the streams.
+//
+// The duplicate-avoidance machinery (residence intervals + per-bucket
+// pass watermarks) is shared with PJoin via internal/joinbase; it is the
+// moral equivalent of XJoin's ATS/DTS timestamps and probe history
+// lists.
+package xjoin
+
+import (
+	"fmt"
+
+	"pjoin/internal/event"
+	"pjoin/internal/joinbase"
+	"pjoin/internal/op"
+	"pjoin/internal/store"
+	"pjoin/internal/stream"
+)
+
+// Config configures an XJoin instance.
+type Config struct {
+	// SchemaA and SchemaB describe the two inputs (ports 0 and 1).
+	SchemaA, SchemaB *stream.Schema
+	// AttrA and AttrB are the join attribute positions.
+	AttrA, AttrB int
+	// OutName names the result schema (default "join").
+	OutName string
+	// NumBuckets is the hash table size per state (default 64).
+	NumBuckets int
+	// SpillA and SpillB provide secondary storage (default in-memory
+	// simulated disks).
+	SpillA, SpillB store.SpillStore
+	// MemoryBytes is the memory threshold that triggers state
+	// relocation; 0 disables spilling (the state grows unboundedly).
+	MemoryBytes int64
+	// DiskJoinIdle is the reactive disk-join activation threshold: how
+	// long the inputs must stall before a background disk pass runs.
+	DiskJoinIdle stream.Time
+}
+
+// XJoin is the baseline stream join. It implements op.Operator with two
+// input ports.
+type XJoin struct {
+	cfg   Config
+	base  *joinbase.Base
+	out   op.Emitter
+	mon   *event.Monitor
+	attrs [2]int
+	outSc *stream.Schema
+
+	now      stream.Time
+	eos      [2]bool
+	finished bool
+}
+
+var _ op.Operator = (*XJoin)(nil)
+
+// New builds an XJoin bound to out.
+func New(cfg Config, out op.Emitter) (*XJoin, error) {
+	if cfg.SchemaA == nil || cfg.SchemaB == nil {
+		return nil, fmt.Errorf("xjoin: both input schemas required")
+	}
+	if out == nil {
+		return nil, fmt.Errorf("xjoin: output emitter required")
+	}
+	if cfg.AttrA < 0 || cfg.AttrA >= cfg.SchemaA.Width() {
+		return nil, fmt.Errorf("xjoin: join attribute A %d out of range for %s", cfg.AttrA, cfg.SchemaA)
+	}
+	if cfg.AttrB < 0 || cfg.AttrB >= cfg.SchemaB.Width() {
+		return nil, fmt.Errorf("xjoin: join attribute B %d out of range for %s", cfg.AttrB, cfg.SchemaB)
+	}
+	if ka, kb := cfg.SchemaA.FieldAt(cfg.AttrA).Kind, cfg.SchemaB.FieldAt(cfg.AttrB).Kind; ka != kb {
+		return nil, fmt.Errorf("xjoin: join attribute kinds differ: %s vs %s", ka, kb)
+	}
+	if cfg.OutName == "" {
+		cfg.OutName = "join"
+	}
+	if cfg.NumBuckets == 0 {
+		cfg.NumBuckets = 64
+	}
+	if cfg.SpillA == nil {
+		cfg.SpillA = store.NewMemSpill()
+	}
+	if cfg.SpillB == nil {
+		cfg.SpillB = store.NewMemSpill()
+	}
+
+	outSc, err := cfg.SchemaA.Concat(cfg.OutName, cfg.SchemaB)
+	if err != nil {
+		return nil, err
+	}
+	stA, err := store.NewState(cfg.SchemaA.Name(), cfg.AttrA, cfg.NumBuckets, cfg.SpillA)
+	if err != nil {
+		return nil, err
+	}
+	stB, err := store.NewState(cfg.SchemaB.Name(), cfg.AttrB, cfg.NumBuckets, cfg.SpillB)
+	if err != nil {
+		return nil, err
+	}
+	x := &XJoin{cfg: cfg, out: out, attrs: [2]int{cfg.AttrA, cfg.AttrB}, outSc: outSc}
+	x.base, err = joinbase.New(stA, stB, outSc, func(t *stream.Tuple) error {
+		return out.Emit(stream.TupleItem(t))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	reg := event.NewRegistry()
+	relocate := event.ListenerFunc{ID: "state-relocation", Fn: func(e event.Event) error {
+		return x.base.Relocate(e.At+1, x.cfg.MemoryBytes, nil)
+	}}
+	diskJoin := event.ListenerFunc{ID: "disk-join", Fn: func(e event.Event) error {
+		if !x.base.NeedsPass() {
+			return nil
+		}
+		return x.base.DiskPass(e.At, joinbase.PassHooks{})
+	}}
+	if err := reg.Register(event.StateFull, nil, "memory threshold reached", relocate); err != nil {
+		return nil, err
+	}
+	if err := reg.Register(event.DiskJoinActivate, nil, "inputs stalled", diskJoin); err != nil {
+		return nil, err
+	}
+	if err := reg.Register(event.StreamEmpty, nil, "both inputs ended", diskJoin); err != nil {
+		return nil, err
+	}
+	x.mon, err = event.NewMonitor(reg, event.Thresholds{
+		MemoryBytes:  cfg.MemoryBytes,
+		DiskJoinIdle: cfg.DiskJoinIdle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Name implements op.Operator.
+func (x *XJoin) Name() string { return "xjoin" }
+
+// NumPorts implements op.Operator.
+func (x *XJoin) NumPorts() int { return 2 }
+
+// OutSchema implements op.Operator.
+func (x *XJoin) OutSchema() *stream.Schema { return x.outSc }
+
+// Metrics returns the accumulated work counters.
+func (x *XJoin) Metrics() joinbase.Metrics { return x.base.M }
+
+// StateStats returns the size accounting of both states.
+func (x *XJoin) StateStats() (a, b store.Stats) {
+	return x.base.States[0].Stats(), x.base.States[1].Stats()
+}
+
+// StateTuples returns the total tuples held in the join state.
+func (x *XJoin) StateTuples() int {
+	a, b := x.StateStats()
+	return a.TotalTuples() + b.TotalTuples()
+}
+
+// Process implements op.Operator. Timestamps must be strictly
+// increasing across all items (see core.PJoin.Process).
+func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
+	if err := op.ValidatePort(x.Name(), port, 2); err != nil {
+		return err
+	}
+	if x.finished {
+		return fmt.Errorf("xjoin: Process after Finish")
+	}
+	x.now = max(x.now, now)
+	switch it.Kind {
+	case stream.KindTuple:
+		x.base.M.TuplesIn[port]++
+		if err := x.mon.TupleArrived(it.Tuple.Ts); err != nil {
+			return err
+		}
+		if _, err := x.base.ProbeOpposite(port, it.Tuple); err != nil {
+			return err
+		}
+		if _, err := x.base.States[port].Insert(it.Tuple); err != nil {
+			return err
+		}
+		return x.mon.StateSize(x.base.States[0].MemBytes()+x.base.States[1].MemBytes(), it.Tuple.Ts)
+	case stream.KindPunct:
+		// No constraint-exploiting mechanism: punctuations are ignored.
+		x.base.M.PunctsIn[port]++
+		return nil
+	case stream.KindEOS:
+		if x.eos[port] {
+			return fmt.Errorf("xjoin: duplicate EOS on port %d", port)
+		}
+		x.eos[port] = true
+		if x.eos[0] && x.eos[1] {
+			return x.mon.StreamsEnded(x.now)
+		}
+		return nil
+	default:
+		return fmt.Errorf("xjoin: unknown item kind %v", it.Kind)
+	}
+}
+
+// OnIdle implements op.Operator: XJoin's reactive background stage.
+func (x *XJoin) OnIdle(now stream.Time) (bool, error) {
+	x.now = max(x.now, now)
+	before := x.base.M.DiskPasses
+	if err := x.mon.Idle(x.now); err != nil {
+		return false, err
+	}
+	return x.base.M.DiskPasses > before, nil
+}
+
+// Finish implements op.Operator: the clean-up stage joins everything
+// still owed from disk, then forwards EOS.
+func (x *XJoin) Finish(now stream.Time) error {
+	if x.finished {
+		return fmt.Errorf("xjoin: double Finish")
+	}
+	if !x.eos[0] || !x.eos[1] {
+		return fmt.Errorf("xjoin: Finish before EOS on both ports")
+	}
+	x.now = max(x.now, now)
+	if x.base.NeedsPass() {
+		if err := x.base.DiskPass(x.now, joinbase.PassHooks{}); err != nil {
+			return err
+		}
+	}
+	x.finished = true
+	return x.out.Emit(stream.EOSItem(x.now))
+}

@@ -1,0 +1,343 @@
+package xjoin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/shj"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+	"pjoin/internal/vtime"
+)
+
+var (
+	schemaA = stream.MustSchema("A",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "pa", Kind: value.KindString},
+	)
+	schemaB = stream.MustSchema("B",
+		stream.Field{Name: "k", Kind: value.KindInt},
+		stream.Field{Name: "pb", Kind: value.KindString},
+	)
+)
+
+type feedItem struct {
+	port int
+	item stream.Item
+}
+
+func tupA(key int64, payload string, ts stream.Time) feedItem {
+	return feedItem{0, stream.TupleItem(stream.MustTuple(schemaA, ts, value.Int(key), value.Str(payload)))}
+}
+
+func tupB(key int64, payload string, ts stream.Time) feedItem {
+	return feedItem{1, stream.TupleItem(stream.MustTuple(schemaB, ts, value.Int(key), value.Str(payload)))}
+}
+
+func run(t *testing.T, j op.Operator, items []feedItem) {
+	t.Helper()
+	var last stream.Time
+	for _, fi := range items {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatalf("Process(%d, %v): %v", fi.port, fi.item, err)
+		}
+		last = fi.item.Ts
+	}
+	for port := 0; port < 2; port++ {
+		last++
+		if err := j.Process(port, stream.EOSItem(last), last); err != nil {
+			t.Fatalf("EOS port %d: %v", port, err)
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func resultKey(tp *stream.Tuple) string {
+	parts := make([]string, len(tp.Values))
+	for i, v := range tp.Values {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func multiset(tuples []*stream.Tuple) map[string]int {
+	m := map[string]int{}
+	for _, tp := range tuples {
+		m[resultKey(tp)]++
+	}
+	return m
+}
+
+func sameMultiset(t *testing.T, got, want map[string]int) {
+	t.Helper()
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] != want[k] {
+			t.Errorf("result %q: got %d, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sink := &op.Collector{}
+	cases := []struct {
+		name string
+		cfg  Config
+		out  op.Emitter
+	}{
+		{"nil schemas", Config{}, sink},
+		{"nil emitter", Config{SchemaA: schemaA, SchemaB: schemaB}, nil},
+		{"bad attrA", Config{SchemaA: schemaA, SchemaB: schemaB, AttrA: 9}, sink},
+		{"bad attrB", Config{SchemaA: schemaA, SchemaB: schemaB, AttrB: 9}, sink},
+		{"kind mismatch", Config{SchemaA: schemaA, SchemaB: schemaB, AttrA: 1, AttrB: 0}, sink},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg, c.out); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestBasicJoinInMemory(t *testing.T) {
+	sink := &op.Collector{}
+	j, err := New(Config{SchemaA: schemaA, SchemaB: schemaB}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, j, []feedItem{
+		tupA(1, "a1", 1),
+		tupB(1, "b1", 2),
+		tupA(1, "a2", 3),
+		tupB(2, "b2", 4),
+	})
+	want := map[string]int{
+		`1|"a1"|1|"b1"`: 1,
+		`1|"a2"|1|"b1"`: 1,
+	}
+	sameMultiset(t, multiset(sink.Tuples()), want)
+}
+
+func TestPunctuationsIgnored(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(Config{SchemaA: schemaA, SchemaB: schemaB}, sink)
+	p := stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(1))), 1)
+	if err := j.Process(0, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	fi := tupA(1, "a", 2)
+	if err := j.Process(fi.port, fi.item, 2); err != nil {
+		t.Fatal(err)
+	}
+	// State keeps growing: no constraint exploitation.
+	if got := j.StateTuples(); got != 1 {
+		t.Errorf("state = %d", got)
+	}
+	if m := j.Metrics(); m.PunctsIn[0] != 1 {
+		t.Errorf("PunctsIn = %v", m.PunctsIn)
+	}
+	if got := len(sink.Puncts()); got != 0 {
+		t.Error("XJoin must not propagate punctuations")
+	}
+}
+
+func TestStateGrowsWithoutBound(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(Config{SchemaA: schemaA, SchemaB: schemaB}, sink)
+	for i := 0; i < 100; i++ {
+		fi := tupA(int64(i), "a", stream.Time(i+1))
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.StateTuples(); got != 100 {
+		t.Errorf("state = %d, want 100", got)
+	}
+}
+
+func TestSpillAndCleanupCompleteness(t *testing.T) {
+	sink := &op.Collector{}
+	j, err := New(Config{
+		SchemaA: schemaA, SchemaB: schemaB,
+		NumBuckets:  4,
+		MemoryBytes: 250,
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleSink := &op.Collector{}
+	oracle, _ := shj.New(schemaA, schemaB, 0, 0, oracleSink)
+
+	rng := vtime.NewRNG(7)
+	var items []feedItem
+	for i := 0; i < 300; i++ {
+		key := int64(rng.Intn(8))
+		ts := stream.Time(i + 1)
+		if rng.Intn(2) == 0 {
+			items = append(items, tupA(key, fmt.Sprintf("a%d", i), ts))
+		} else {
+			items = append(items, tupB(key, fmt.Sprintf("b%d", i), ts))
+		}
+	}
+	run(t, j, items)
+	run(t, oracle, items)
+
+	if j.Metrics().Relocations == 0 {
+		t.Fatal("relocation never triggered; test ineffective")
+	}
+	sameMultiset(t, multiset(sink.Tuples()), multiset(oracleSink.Tuples()))
+}
+
+func TestReactiveDiskJoinDuringStall(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(Config{
+		SchemaA: schemaA, SchemaB: schemaB,
+		NumBuckets:   2,
+		MemoryBytes:  200,
+		DiskJoinIdle: 10,
+	}, sink)
+	var ts stream.Time
+	for i := 0; i < 40; i++ {
+		ts++
+		var fi feedItem
+		if i%2 == 0 {
+			fi = tupA(int64(i%3), "a", ts)
+		} else {
+			fi = tupB(int64(i%3), "b", ts)
+		}
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Metrics().Relocations == 0 {
+		t.Fatal("no relocation; lower the threshold")
+	}
+	before := len(sink.Tuples())
+	did, err := j.OnIdle(ts + 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("idle stall should trigger the reactive disk join")
+	}
+	if got := len(sink.Tuples()); got <= before {
+		t.Error("reactive disk join produced no left-over results")
+	}
+	// Results so far plus cleanup must equal the oracle.
+	var last stream.Time = ts + 100
+	for port := 0; port < 2; port++ {
+		last++
+		if err := j.Process(port, stream.EOSItem(last), last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialWithIdlePassesAgainstOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := vtime.NewRNG(seed)
+		sink := &op.Collector{}
+		j, _ := New(Config{
+			SchemaA: schemaA, SchemaB: schemaB,
+			NumBuckets:   4,
+			MemoryBytes:  300,
+			DiskJoinIdle: 5,
+		}, sink)
+		oracleSink := &op.Collector{}
+		oracle, _ := shj.New(schemaA, schemaB, 0, 0, oracleSink)
+
+		var ts stream.Time
+		for i := 0; i < 250; i++ {
+			ts++
+			key := int64(rng.Intn(10))
+			var fi feedItem
+			if rng.Intn(2) == 0 {
+				fi = tupA(key, fmt.Sprintf("a%d", i), ts)
+			} else {
+				fi = tupB(key, fmt.Sprintf("b%d", i), ts)
+			}
+			if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+				t.Fatal(err)
+			}
+			// Random stalls let the reactive stage interleave with
+			// arrivals — the hardest case for duplicate avoidance.
+			if rng.Intn(20) == 0 {
+				ts += 10
+				if _, err := j.OnIdle(ts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for port := 0; port < 2; port++ {
+			ts++
+			j.Process(port, stream.EOSItem(ts), ts)
+			oracle.Process(port, stream.EOSItem(ts), ts)
+		}
+		if err := j.Finish(ts + 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Finish(ts + 1); err != nil {
+			t.Fatal(err)
+		}
+		sameMultiset(t, multiset(sink.Tuples()), multiset(oracleSink.Tuples()))
+		if t.Failed() {
+			t.Fatalf("seed %d mismatch", seed)
+		}
+	}
+}
+
+func TestEOSProtocol(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(Config{SchemaA: schemaA, SchemaB: schemaB}, sink)
+	if err := j.Finish(1); err == nil {
+		t.Error("Finish before EOS should error")
+	}
+	j.Process(0, stream.EOSItem(1), 1)
+	if err := j.Process(0, stream.EOSItem(2), 2); err == nil {
+		t.Error("duplicate EOS should error")
+	}
+	j.Process(1, stream.EOSItem(3), 3)
+	if err := j.Finish(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Finish(5); err == nil {
+		t.Error("double Finish should error")
+	}
+	if err := j.Process(0, tupA(1, "x", 6).item, 6); err == nil {
+		t.Error("Process after Finish should error")
+	}
+	if err := j.Process(5, tupA(1, "x", 7).item, 7); err == nil {
+		t.Error("invalid port should error")
+	}
+}
+
+func TestOperatorMetadata(t *testing.T) {
+	sink := &op.Collector{}
+	j, _ := New(Config{SchemaA: schemaA, SchemaB: schemaB}, sink)
+	if j.Name() != "xjoin" || j.NumPorts() != 2 {
+		t.Error("metadata wrong")
+	}
+	if j.OutSchema().Width() != 4 {
+		t.Errorf("out schema = %v", j.OutSchema())
+	}
+}
