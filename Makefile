@@ -1,0 +1,31 @@
+# Developer targets. `make check` is the tier-1 verification plus the
+# race detector — the sharded parallel join (internal/parallel) is the
+# first concurrent hot path, so every test run under -race is part of
+# its correctness argument.
+
+GO ?= go
+
+.PHONY: build test vet race check bench-alloc bench-scaling
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Hot-path allocation micro-benchmarks (probe/insert, punctuation
+# matching). Run with -benchmem semantics via b.ReportAllocs().
+bench-alloc:
+	$(GO) test -run=NONE -bench='Probe|Insert|SetMatch|Matches' ./internal/joinbase/ ./internal/punct/
+
+# ShardedPJoin scaling sweep (wall clock + cost-model makespan).
+bench-scaling:
+	$(GO) run ./cmd/pjoinbench -fig scale1

@@ -10,12 +10,15 @@
 //	pjoinbench -all              # every figure and table
 //	pjoinbench -fig 9 -quick     # 1/10th horizon smoke run
 //	pjoinbench -fig 7 -csv out.csv
+//	pjoinbench -fig scale1 -shards 1,4,16   # ShardedPJoin scaling sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pjoin/internal/bench"
@@ -25,15 +28,22 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		fig   = flag.String("fig", "", "experiment to run (e.g. 5, fig5, table1)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "shortened horizon (1/10th)")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		durMs = flag.Int64("duration-ms", 0, "override virtual horizon in milliseconds")
-		csv   = flag.String("csv", "", "write the raw series to this CSV file")
+		list   = flag.Bool("list", false, "list available experiments")
+		fig    = flag.String("fig", "", "experiment to run (e.g. 5, fig5, table1)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "shortened horizon (1/10th)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		durMs  = flag.Int64("duration-ms", 0, "override virtual horizon in milliseconds")
+		csv    = flag.String("csv", "", "write the raw series to this CSV file")
+		shards = flag.String("shards", "", "comma-separated shard counts for the scaling experiments (e.g. 1,2,4,8)")
 	)
 	flag.Parse()
+
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -46,6 +56,7 @@ func main() {
 		Seed:     *seed,
 		Quick:    *quick,
 		Duration: stream.Time(*durMs) * stream.Millisecond,
+		Shards:   shardCounts,
 	}
 
 	var exps []bench.Experiment
@@ -100,4 +111,21 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csv)
 	}
+}
+
+// parseShards turns "1,2,4,8" into shard counts; empty input keeps the
+// experiments' defaults.
+func parseShards(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("pjoinbench: bad -shards value %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

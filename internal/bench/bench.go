@@ -28,6 +28,16 @@ type RunConfig struct {
 	Duration stream.Time
 	// Quick shortens the run for tests and smoke benches.
 	Quick bool
+	// Shards overrides the shard counts of the scaling experiments
+	// (default 1, 2, 4, 8).
+	Shards []int
+}
+
+func (rc RunConfig) shardCounts() []int {
+	if len(rc.Shards) > 0 {
+		return rc.Shards
+	}
+	return []int{1, 2, 4, 8}
 }
 
 func (rc RunConfig) seed() uint64 {

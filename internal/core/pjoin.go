@@ -60,6 +60,18 @@ type Config struct {
 	// assumption on the join attribute and that no tuple arrives after a
 	// punctuation it matches (stream integrity).
 	VerifyPunctuations bool
+	// RetainPropagated keeps propagated punctuations in their set (marked
+	// Entry.Propagated) instead of removing them (§3.5 removes
+	// immediately). Retention trades set growth for purge power that is
+	// independent of propagation timing: a punctuation keeps dropping and
+	// purging matching tuples even after it was released downstream. This
+	// is what makes hash-partitioned parallel PJoin (internal/parallel)
+	// exactly equivalent to a single instance on punctuations that span
+	// several join keys — each partition reaches count zero at its own
+	// pace, and an early partition must not forget the punctuation while
+	// late tuples it covers can still arrive. An extension beyond the
+	// paper.
+	RetainPropagated bool
 	// DisableDiskPurge stops disk passes from purging disk-resident
 	// tuples that match the opposite punctuation set (purging them is
 	// the default behaviour of the paper's disk join; disable for
@@ -549,7 +561,11 @@ func (j *PJoin) propagate(now stream.Time) error {
 				return err
 			}
 			j.base.M.PunctsOut++
-			j.psets[s].Remove(e.PID)
+			if j.cfg.RetainPropagated {
+				e.Propagated = true
+			} else {
+				j.psets[s].Remove(e.PID)
+			}
 		}
 	}
 	return nil

@@ -8,6 +8,12 @@
 // operator is restamped with a strictly increasing timestamp (never
 // below the wall-clock elapsed time), which is the property the join
 // operators' duplicate-avoidance bookkeeping requires.
+//
+// The restamping contract is shard-safe: a parallel operator such as
+// parallel.ShardedPJoin receives one strictly increasing sequence on its
+// driver goroutine, routes items to internal workers over FIFO queues,
+// and therefore hands every worker a subsequence that is again strictly
+// increasing — no shared clock or further coordination is needed.
 package exec
 
 import (

@@ -57,6 +57,31 @@ type Metrics struct {
 	IndexScanned  int64    // tuples examined by punctuation index builds
 }
 
+// Add accumulates o into m field by field. Parallel joins (a sharded
+// PJoin is N independent instances over a partitioned key space) sum
+// their shards' counters through it; each shard's Metrics value is a
+// snapshot taken under that shard's lock, so the aggregation itself
+// involves no shared mutable state.
+func (m *Metrics) Add(o Metrics) {
+	for s := 0; s < 2; s++ {
+		m.TuplesIn[s] += o.TuplesIn[s]
+		m.PunctsIn[s] += o.PunctsIn[s]
+	}
+	m.TuplesOut += o.TuplesOut
+	m.PunctsOut += o.PunctsOut
+	m.Examined += o.Examined
+	m.DiskExamined += o.DiskExamined
+	m.DiskJoins += o.DiskJoins
+	m.Relocations += o.Relocations
+	m.SpilledTuples += o.SpilledTuples
+	m.DiskPasses += o.DiskPasses
+	m.Purged += o.Purged
+	m.PurgeScanned += o.PurgeScanned
+	m.PurgeRuns += o.PurgeRuns
+	m.DroppedOnFly += o.DroppedOnFly
+	m.IndexScanned += o.IndexScanned
+}
+
 // Base is the symmetric two-state core of a binary equi-join.
 type Base struct {
 	States [2]*store.State
@@ -65,6 +90,15 @@ type Base struct {
 	M      Metrics
 
 	lastPass []stream.Time // per bucket; both states share the bucket space
+
+	// probeBuf and arrival are per-probe scratch reused across
+	// ProbeOpposite calls so the memory-join hot path performs no
+	// allocation of its own (result construction still allocates, the
+	// probe machinery does not). Base is single-goroutine by contract
+	// (operators are serialised by their driver), so one scratch set per
+	// Base suffices.
+	probeBuf []*store.StoredTuple
+	arrival  store.StoredTuple
 }
 
 // New builds a Base over two freshly created states with the same bucket
@@ -107,15 +141,22 @@ func (b *Base) emitPair(sideOfX int, x, y *store.StoredTuple) error {
 func (b *Base) ProbeOpposite(s int, t *stream.Tuple) (int, error) {
 	opp := b.States[1-s]
 	key := b.States[s].Key(t)
-	matches, examined := opp.ProbeMem(key, nil)
+	matches, examined := opp.ProbeMem(key, b.probeBuf[:0])
 	b.M.Examined += int64(examined)
-	arrival := &store.StoredTuple{T: t, DTS: store.InMemory}
+	b.arrival = store.StoredTuple{T: t, DTS: store.InMemory}
 	for _, m := range matches {
-		if err := b.emitPair(1-s, m, arrival); err != nil {
+		if err := b.emitPair(1-s, m, &b.arrival); err != nil {
 			return 0, err
 		}
 	}
-	return len(matches), nil
+	n := len(matches)
+	// Clear the scratch so it never pins purged tuples, then keep the
+	// grown capacity for the next probe.
+	for i := range matches {
+		matches[i] = nil
+	}
+	b.probeBuf = matches[:0]
+	return n, nil
 }
 
 // Relocate implements the memory-overflow resolution (paper §3.3,

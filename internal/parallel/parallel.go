@@ -1,0 +1,527 @@
+// Package parallel implements ShardedPJoin: a hash-partitioned parallel
+// composition of N independent core.PJoin instances, the repository's
+// first concurrent hot path.
+//
+// # Architecture
+//
+// The join-key space is partitioned by hash: a router (the caller's
+// Process goroutine) hashes each data tuple's join attribute once and
+// forwards the tuple to the shard owning that hash slice over a bounded
+// queue, so every pair of matching tuples meets inside exactly one
+// shard. Each shard runs a full, unmodified core.PJoin — its own hash
+// buckets, punctuation sets, purge buffers, spill stores and event
+// monitor — on its own goroutine, which keeps the single-join invariants
+// (operators are single-threaded state machines) intact per shard.
+//
+// # Punctuation routing and merge alignment
+//
+// Punctuations are broadcast to every shard: a punctuation describes a
+// slice of the key space, and each shard applies it to the partition it
+// owns (a shard holding no matching tuples simply purges nothing and can
+// propagate the punctuation immediately). On the way out the shards'
+// propagated punctuations must be re-aligned: the sharded join may only
+// promise "no more results matching p" downstream once EVERY shard has
+// made that promise, because any shard still holding a matching tuple
+// could still emit a result. The merge stage therefore keeps a
+// per-punctuation countdown, forwarding a punctuation exactly when the
+// last of the N shards propagates it. Result tuples are never held up:
+// they flow through the merge as they are produced, serialised only by
+// the output mutex.
+//
+// Result-tuple output is always exactly the single instance's (matching
+// pairs meet in exactly one shard). Propagated punctuations are exactly
+// the single instance's too, with one caveat: when punctuations span
+// SEVERAL join keys (range patterns), set core.Config.RetainPropagated.
+// Default PJoin removes a punctuation from its set upon propagation; a
+// shard owning only part of a range reaches count zero (and forgets the
+// punctuation) earlier than the whole join would, losing its purge and
+// drop-on-the-fly power over later covered arrivals in that shard.
+// Retention makes set membership independent of propagation timing, so
+// every shard's counts are an exact partition of the single instance's
+// and the merged output multiset matches a RetainPropagated single
+// instance on any valid input. Single-key (constant) punctuations need
+// no retention: a key's tuples all live in one shard, which then
+// behaves exactly like the single instance restricted to its slice.
+//
+// # Timestamp contract
+//
+// core.PJoin's duplicate-avoidance bookkeeping requires strictly
+// increasing item timestamps per instance. The executor restamps items
+// on the sharded operator's driver goroutine (one strictly increasing
+// sequence), the router dispatches in arrival order, and each shard's
+// queue is FIFO — so every shard observes a subsequence of a strictly
+// increasing sequence, which is again strictly increasing. This is what
+// makes the restamping contract shard-safe without any shared clock.
+//
+// # Metrics
+//
+// Shard work counters are owned by the shard goroutines; Metrics,
+// StateTuples and ShardStats snapshot each shard under its lock and sum
+// with joinbase.Metrics.Add, so monitoring a running sharded join is
+// race-free (verified by `go test -race`, see Makefile `check`).
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pjoin/internal/core"
+	"pjoin/internal/joinbase"
+	"pjoin/internal/op"
+	"pjoin/internal/stream"
+)
+
+// DefaultQueueSize is the per-shard input queue capacity when
+// Config.QueueSize is zero.
+const DefaultQueueSize = 1024
+
+// Config configures a ShardedPJoin.
+type Config struct {
+	// Shards is the number of key-space partitions (>= 1). Shards == 1
+	// is a single PJoin behind the routing/merge machinery (useful as a
+	// baseline; the equivalence tests exploit it).
+	Shards int
+	// QueueSize is the per-shard bounded input queue capacity (default
+	// DefaultQueueSize). The router blocks when a shard's queue is full,
+	// which is the operator's back-pressure.
+	QueueSize int
+	// Join is the per-shard PJoin configuration. SpillA/SpillB must be
+	// nil: every shard owns fresh spill stores. NumBuckets and
+	// Thresholds (purge, memory, propagation) apply per shard.
+	Join core.Config
+}
+
+type msgKind uint8
+
+const (
+	msgItem msgKind = iota
+	msgIdle
+	msgPull
+	msgFinish
+)
+
+// message is one unit of work queued to a shard.
+type message struct {
+	kind msgKind
+	port int
+	item stream.Item
+	now  stream.Time
+}
+
+// shard is one key-space partition: a PJoin instance plus its queue.
+type shard struct {
+	pj   *core.PJoin
+	in   chan message
+	done chan struct{}
+
+	// mu is held by the shard goroutine around every pj call and by
+	// metric readers around every pj snapshot; it is the only
+	// synchronisation of the shard's join state.
+	mu sync.Mutex
+
+	// failed is shard-goroutine-local: after an error the goroutine
+	// drains its queue without processing so the router never blocks.
+	failed bool
+
+	routed    atomic.Int64 // data tuples routed here (router-side)
+	highWater atomic.Int64 // max observed queue depth after a send
+}
+
+// ShardedPJoin is the hash-partitioned parallel PJoin operator. It
+// implements op.Operator (two ports, like core.PJoin) and the
+// executor's PropagationPuller; Process/OnIdle/Finish must be called
+// from a single goroutine, exactly as for any other operator — the
+// concurrency lives behind the router.
+type ShardedPJoin struct {
+	cfg    Config
+	out    op.Emitter
+	outSc  *stream.Schema
+	merge  *merger
+	shards []*shard
+	attrs  [2]int
+
+	eos      [2]bool
+	finished bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+var _ op.Operator = (*ShardedPJoin)(nil)
+
+// New builds a ShardedPJoin with cfg.Shards independent PJoin instances
+// and starts their goroutines. The shards are live from this point on;
+// the operator contract (EOS on both ports, then Finish) shuts them
+// down.
+func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
+	if out == nil {
+		return nil, fmt.Errorf("parallel: ShardedPJoin needs an output emitter")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("parallel: need at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.Join.SpillA != nil || cfg.Join.SpillB != nil {
+		return nil, fmt.Errorf("parallel: per-shard spill stores are created internally; leave SpillA/SpillB nil")
+	}
+	q := cfg.QueueSize
+	if q <= 0 {
+		q = DefaultQueueSize
+	}
+	j := &ShardedPJoin{
+		cfg:   cfg,
+		out:   out,
+		attrs: [2]int{cfg.Join.AttrA, cfg.Join.AttrB},
+		merge: &merger{out: out, n: cfg.Shards, pending: make(map[string]*pendingPunct)},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		pj, err := core.New(cfg.Join, j.merge.emitter())
+		if err != nil {
+			// Unwind shards already started so their goroutines exit.
+			for _, sh := range j.shards {
+				close(sh.in)
+			}
+			return nil, fmt.Errorf("parallel: shard %d: %w", i, err)
+		}
+		sh := &shard{pj: pj, in: make(chan message, q), done: make(chan struct{})}
+		j.shards = append(j.shards, sh)
+		go j.runShard(sh)
+	}
+	j.outSc = j.shards[0].pj.OutSchema()
+	return j, nil
+}
+
+// runShard is a shard's goroutine: it applies queued work to the
+// shard's PJoin under the shard lock until the queue closes.
+func (j *ShardedPJoin) runShard(sh *shard) {
+	defer close(sh.done)
+	for msg := range sh.in {
+		if sh.failed {
+			continue // drain so the router never blocks on a dead shard
+		}
+		sh.mu.Lock()
+		var err error
+		switch msg.kind {
+		case msgItem:
+			err = sh.pj.Process(msg.port, msg.item, msg.now)
+		case msgIdle:
+			_, err = sh.pj.OnIdle(msg.now)
+		case msgPull:
+			err = sh.pj.RequestPropagation(msg.now)
+		case msgFinish:
+			err = sh.pj.Finish(msg.now)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			sh.failed = true
+			j.fail(err)
+		}
+	}
+}
+
+func (j *ShardedPJoin) fail(err error) {
+	j.errMu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.errMu.Unlock()
+}
+
+func (j *ShardedPJoin) errNow() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.err
+}
+
+// Name implements op.Operator.
+func (j *ShardedPJoin) Name() string {
+	return fmt.Sprintf("sharded-pjoin[%d]", len(j.shards))
+}
+
+// NumPorts implements op.Operator.
+func (j *ShardedPJoin) NumPorts() int { return 2 }
+
+// OutSchema implements op.Operator.
+func (j *ShardedPJoin) OutSchema() *stream.Schema { return j.outSc }
+
+// Shards returns the shard count.
+func (j *ShardedPJoin) Shards() int { return len(j.shards) }
+
+// send enqueues work to a shard, blocking under back-pressure, and
+// tracks the queue-depth high-water mark. Only the router goroutine
+// sends, so the load/store pair on highWater needs no CAS.
+func (j *ShardedPJoin) send(sh *shard, m message) {
+	sh.in <- m
+	if d := int64(len(sh.in)); d > sh.highWater.Load() {
+		sh.highWater.Store(d)
+	}
+}
+
+// Process implements op.Operator: data tuples are routed to the shard
+// owning their join key; punctuations and EOS are broadcast to every
+// shard.
+func (j *ShardedPJoin) Process(port int, it stream.Item, now stream.Time) error {
+	if err := op.ValidatePort(j.Name(), port, 2); err != nil {
+		return err
+	}
+	if j.finished {
+		return fmt.Errorf("parallel: %s: Process after Finish", j.Name())
+	}
+	if err := j.errNow(); err != nil {
+		return fmt.Errorf("parallel: %s: shard failed: %w", j.Name(), err)
+	}
+	switch it.Kind {
+	case stream.KindTuple:
+		attr := j.attrs[port]
+		if len(it.Tuple.Values) <= attr {
+			return fmt.Errorf("parallel: %s: tuple width %d lacks join attribute %d",
+				j.Name(), len(it.Tuple.Values), attr)
+		}
+		s := int(it.Tuple.Values[attr].Hash() % uint64(len(j.shards)))
+		j.shards[s].routed.Add(1)
+		j.send(j.shards[s], message{kind: msgItem, port: port, item: it, now: now})
+	case stream.KindPunct:
+		for _, sh := range j.shards {
+			j.send(sh, message{kind: msgItem, port: port, item: it, now: now})
+		}
+	case stream.KindEOS:
+		if j.eos[port] {
+			return fmt.Errorf("parallel: %s: duplicate EOS on port %d", j.Name(), port)
+		}
+		j.eos[port] = true
+		for _, sh := range j.shards {
+			j.send(sh, message{kind: msgItem, port: port, item: it, now: now})
+		}
+	default:
+		return fmt.Errorf("parallel: %s: unknown item kind %v", j.Name(), it.Kind)
+	}
+	return nil
+}
+
+// OnIdle implements op.Operator: the idle signal is offered to every
+// shard without blocking (a shard with queued work is not idle). Work
+// triggered by it happens asynchronously, so OnIdle itself reports
+// false.
+func (j *ShardedPJoin) OnIdle(now stream.Time) (bool, error) {
+	if j.finished {
+		return false, nil
+	}
+	if err := j.errNow(); err != nil {
+		return false, fmt.Errorf("parallel: %s: shard failed: %w", j.Name(), err)
+	}
+	for _, sh := range j.shards {
+		select {
+		case sh.in <- message{kind: msgIdle, now: now}:
+		default:
+		}
+	}
+	return false, nil
+}
+
+// RequestPropagation implements the executor's pull-mode propagation:
+// the request is broadcast so every shard releases what it can, and the
+// merge forwards whatever completes its countdown.
+func (j *ShardedPJoin) RequestPropagation(now stream.Time) error {
+	if j.finished {
+		return fmt.Errorf("parallel: %s: RequestPropagation after Finish", j.Name())
+	}
+	if err := j.errNow(); err != nil {
+		return err
+	}
+	for _, sh := range j.shards {
+		j.send(sh, message{kind: msgPull, now: now})
+	}
+	return nil
+}
+
+// Finish implements op.Operator: it finishes every shard (final disk
+// passes, index builds and propagation run inside the shards), waits
+// for them to drain, and emits the single downstream EOS.
+func (j *ShardedPJoin) Finish(now stream.Time) error {
+	if j.finished {
+		return fmt.Errorf("parallel: %s: double Finish", j.Name())
+	}
+	if !j.eos[0] || !j.eos[1] {
+		return fmt.Errorf("parallel: %s: Finish before EOS on both ports", j.Name())
+	}
+	for _, sh := range j.shards {
+		j.send(sh, message{kind: msgFinish, now: now})
+		close(sh.in)
+	}
+	for _, sh := range j.shards {
+		<-sh.done
+	}
+	j.finished = true
+	if err := j.errNow(); err != nil {
+		return fmt.Errorf("parallel: %s: %w", j.Name(), err)
+	}
+	j.merge.mu.Lock()
+	eos, ts := j.merge.eosSeen, j.merge.maxTs
+	j.merge.mu.Unlock()
+	if eos != len(j.shards) {
+		return fmt.Errorf("parallel: %s: %d of %d shards emitted EOS", j.Name(), eos, len(j.shards))
+	}
+	if now > ts {
+		ts = now
+	}
+	return j.out.Emit(stream.EOSItem(ts))
+}
+
+// Metrics returns the work counters summed across shards. PunctsIn is
+// normalised back to stream-level counts (every shard sees every
+// broadcast punctuation); PunctsOut is the number of punctuations that
+// completed merge alignment and were forwarded downstream. While shards
+// are mid-flight the snapshot is a consistent-per-shard approximation;
+// after Finish it is exact.
+func (j *ShardedPJoin) Metrics() joinbase.Metrics {
+	var total joinbase.Metrics
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		m := sh.pj.Metrics()
+		sh.mu.Unlock()
+		total.Add(m)
+	}
+	n := int64(len(j.shards))
+	total.PunctsIn[0] /= n
+	total.PunctsIn[1] /= n
+	j.merge.mu.Lock()
+	total.PunctsOut = j.merge.punctsOut
+	j.merge.mu.Unlock()
+	return total
+}
+
+// StateTuples returns the total tuples held across all shard states.
+func (j *ShardedPJoin) StateTuples() int {
+	total := 0
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		total += sh.pj.StateTuples()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats is the per-shard monitoring view of a sharded join.
+type ShardStats struct {
+	Shard          int
+	Routed         int64            // data tuples routed to this shard
+	QueueHighWater int              // max observed input queue depth
+	StateTuples    int              // tuples currently in the shard's state
+	Join           joinbase.Metrics // the shard's own work counters
+}
+
+// ShardStats snapshots every shard.
+func (j *ShardedPJoin) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(j.shards))
+	for i, sh := range j.shards {
+		sh.mu.Lock()
+		m := sh.pj.Metrics()
+		st := sh.pj.StateTuples()
+		sh.mu.Unlock()
+		out[i] = ShardStats{
+			Shard:          i,
+			Routed:         sh.routed.Load(),
+			QueueHighWater: int(sh.highWater.Load()),
+			StateTuples:    st,
+			Join:           m,
+		}
+	}
+	return out
+}
+
+// Skew summarises routing balance: the ratio of the most-loaded shard's
+// routed tuples to the mean (1.0 = perfectly balanced). Zero routed
+// tuples yields 0.
+func Skew(stats []ShardStats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, s := range stats {
+		sum += s.Routed
+		if s.Routed > max {
+			max = s.Routed
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(stats))
+	return float64(max) / mean
+}
+
+// merger is the fan-in stage: it serialises shard output into the
+// downstream emitter and re-aligns propagated punctuations with a
+// per-punctuation countdown.
+type merger struct {
+	out op.Emitter
+	n   int
+
+	mu        sync.Mutex
+	pending   map[string]*pendingPunct
+	punctsOut int64
+	eosSeen   int
+	maxTs     stream.Time
+}
+
+// pendingPunct is one punctuation's alignment state: how many shards
+// have yet to propagate it and the latest shard emission timestamp
+// (the forwarded punctuation carries the time the promise became true
+// join-wide).
+type pendingPunct struct {
+	remaining int
+	ts        stream.Time
+}
+
+// emitter returns the op.Emitter handed to one shard's PJoin. All
+// shards' emitters share the merger; calls are serialised by merge.mu.
+func (m *merger) emitter() op.Emitter {
+	return op.EmitterFunc(func(it stream.Item) error {
+		switch it.Kind {
+		case stream.KindTuple:
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.out.Emit(it)
+		case stream.KindPunct:
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			key := it.Punct.String()
+			pp := m.pending[key]
+			if pp == nil {
+				pp = &pendingPunct{remaining: m.n}
+				m.pending[key] = pp
+			}
+			pp.remaining--
+			if it.Ts > pp.ts {
+				pp.ts = it.Ts
+			}
+			if pp.remaining > 0 {
+				return nil // some shard may still produce matching results
+			}
+			delete(m.pending, key)
+			m.punctsOut++
+			return m.out.Emit(stream.PunctItem(it.Punct, pp.ts))
+		case stream.KindEOS:
+			// Shard EOS is bookkeeping only; ShardedPJoin.Finish emits
+			// the single downstream EOS after all shards drained.
+			m.mu.Lock()
+			m.eosSeen++
+			if it.Ts > m.maxTs {
+				m.maxTs = it.Ts
+			}
+			m.mu.Unlock()
+			return nil
+		default:
+			return fmt.Errorf("parallel: merge: unknown item kind %v", it.Kind)
+		}
+	})
+}
+
+// PendingPunctuations returns how many punctuations are currently held
+// by the merge waiting for stragglers (propagated by some but not all
+// shards) — a liveness metric for the alignment invariant.
+func (j *ShardedPJoin) PendingPunctuations() int {
+	j.merge.mu.Lock()
+	defer j.merge.mu.Unlock()
+	return len(j.merge.pending)
+}

@@ -23,6 +23,7 @@ import (
 	"pjoin/internal/event"
 	"pjoin/internal/exec"
 	"pjoin/internal/op"
+	"pjoin/internal/parallel"
 	"pjoin/internal/stream"
 	"pjoin/internal/xjoin"
 )
@@ -43,6 +44,14 @@ type JoinOptions struct {
 	Window stream.Time
 	// Verify enables punctuation integrity checking (PJoin only).
 	Verify bool
+	// Shards > 1 runs the PJoin hash-partitioned across that many
+	// parallel shards (internal/parallel). Punctuations spanning several
+	// join keys then need RetainPropagated for exact equivalence; see the
+	// parallel package doc.
+	Shards int
+	// RetainPropagated keeps propagated punctuations in their sets; see
+	// core.Config.RetainPropagated.
+	RetainPropagated bool
 }
 
 type node struct {
@@ -126,11 +135,19 @@ func (p *Plan) PJoin(name, left, right string, opts JoinOptions) {
 				OutName:            name,
 				Window:             opts.Window,
 				VerifyPunctuations: opts.Verify,
+				RetainPropagated:   opts.RetainPropagated,
 			}
 			cfg.Thresholds = event.Thresholds{
 				Purge:          defaultInt(opts.PurgeThreshold, 1),
 				PropagateCount: defaultInt(opts.PropagateCount, 1),
 				MemoryBytes:    opts.MemoryBytes,
+			}
+			if opts.Shards > 1 {
+				j, err := parallel.New(parallel.Config{Shards: opts.Shards, Join: cfg}, emit)
+				if err != nil {
+					return nil, nil, err
+				}
+				return j, j.OutSchema(), nil
 			}
 			j, err := core.New(cfg, emit)
 			if err != nil {

@@ -25,6 +25,15 @@ type Entry struct {
 	P       Punctuation
 	Count   int  // state tuples whose pid == PID
 	Indexed bool // index build has assigned tuples to this punctuation
+
+	// Propagated marks an entry that was already released downstream but
+	// retained in the set (instead of removed, §3.5) so it keeps serving
+	// the purge and drop-on-the-fly rules. Retention keeps a set's
+	// membership independent of propagation timing, which hash-partitioned
+	// parallel joins need: each partition reaches count zero at its own
+	// pace, and an early partition must not lose the punctuation's purge
+	// power over later arrivals. See core.Config.RetainPropagated.
+	Propagated bool
 }
 
 // ExhaustiveOn reports whether the punctuation promises exhaustion of a
@@ -289,12 +298,14 @@ func (s *Set) Unindexed() []*Entry {
 	return out
 }
 
-// Propagable returns the indexed entries whose count is zero: by
-// Theorem 1 these punctuations can be released downstream now.
+// Propagable returns the indexed entries whose count is zero and that
+// have not been released yet: by Theorem 1 these punctuations can be
+// propagated downstream now. Entries retained after propagation
+// (Entry.Propagated) are excluded so they are released at most once.
 func (s *Set) Propagable() []*Entry {
 	var out []*Entry
 	for _, e := range s.entries {
-		if e.Indexed && e.Count == 0 {
+		if e.Indexed && e.Count == 0 && !e.Propagated {
 			out = append(out, e)
 		}
 	}

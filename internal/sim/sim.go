@@ -67,6 +67,25 @@ func DefaultCosts() CostModel {
 	}
 }
 
+// Charge prices the cumulative work recorded in m from a zero baseline
+// (spill-store I/O is charged separately, from store.IOStats). Because
+// the model is linear, the cost of a work delta is the difference of
+// two Charge values; parallel compositions use Charge directly to price
+// each shard's work when computing pipeline makespans (bench scale1).
+func (d CostModel) Charge(m joinbase.Metrics) stream.Time {
+	var cost stream.Time
+	cost += d.PerTuple * stream.Time(m.TuplesIn[0]+m.TuplesIn[1])
+	cost += d.PerPunct * stream.Time(m.PunctsIn[0]+m.PunctsIn[1])
+	cost += d.PerProbe * stream.Time(m.Examined)
+	cost += d.PerResult * stream.Time(m.TuplesOut)
+	cost += d.PerPurgeScan * stream.Time(m.PurgeScanned)
+	cost += d.PerPurgeRun * stream.Time(m.PurgeRuns)
+	cost += d.PerIndexScan * stream.Time(m.IndexScanned)
+	cost += d.PerDiskPair * stream.Time(m.DiskExamined)
+	cost += d.PerSpillTuple * stream.Time(m.SpilledTuples)
+	return cost
+}
+
 // MeteredJoin is the operator contract the simulator drives: a two-port
 // operator exposing its work counters and state size. core.PJoin and
 // xjoin.XJoin both satisfy it.
@@ -132,16 +151,7 @@ func (c *costTracker) ioNow() store.IOStats {
 // charge computes the virtual cost of the work done since the last call.
 func (c *costTracker) charge(m joinbase.Metrics) stream.Time {
 	d := c.costs
-	var cost stream.Time
-	cost += d.PerTuple * stream.Time(m.TuplesIn[0]+m.TuplesIn[1]-c.prev.TuplesIn[0]-c.prev.TuplesIn[1])
-	cost += d.PerPunct * stream.Time(m.PunctsIn[0]+m.PunctsIn[1]-c.prev.PunctsIn[0]-c.prev.PunctsIn[1])
-	cost += d.PerProbe * stream.Time(m.Examined-c.prev.Examined)
-	cost += d.PerResult * stream.Time(m.TuplesOut-c.prev.TuplesOut)
-	cost += d.PerPurgeScan * stream.Time(m.PurgeScanned-c.prev.PurgeScanned)
-	cost += d.PerPurgeRun * stream.Time(m.PurgeRuns-c.prev.PurgeRuns)
-	cost += d.PerIndexScan * stream.Time(m.IndexScanned-c.prev.IndexScanned)
-	cost += d.PerDiskPair * stream.Time(m.DiskExamined-c.prev.DiskExamined)
-	cost += d.PerSpillTuple * stream.Time(m.SpilledTuples-c.prev.SpilledTuples)
+	cost := d.Charge(m) - d.Charge(c.prev)
 	c.prev = m
 
 	io := c.ioNow()
