@@ -8,30 +8,36 @@
 //	auctiond                       # 100 items, as fast as possible
 //	auctiond -items 500 -paced    # honour the workload's timestamps
 //	auctiond -purge 10            # lazy purge with threshold 10
+//	auctiond -paced -http :6060   # expvar gauges + pprof while running
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -http server
 	"os"
 	"time"
 
 	"pjoin/internal/core"
 	"pjoin/internal/exec"
 	"pjoin/internal/gen"
+	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/stream"
 )
 
 func main() {
 	var (
-		items   = flag.Int("items", 100, "number of auctions")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		paced   = flag.Bool("paced", false, "pace sources by workload timestamps (real time)")
-		purge   = flag.Int("purge", 1, "purge threshold (1 = eager)")
-		verbose = flag.Bool("v", false, "print every group row")
+		items    = flag.Int("items", 100, "number of auctions")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		paced    = flag.Bool("paced", false, "pace sources by workload timestamps (real time)")
+		purge    = flag.Int("purge", 1, "purge threshold (1 = eager)")
+		verbose  = flag.Bool("v", false, "print every group row")
+		httpAddr = flag.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -61,12 +67,32 @@ func main() {
 	fmt.Printf("auctiond: %d items, %d bids, %d punctuations, %.0f ms of stream time\n",
 		st.Tuples[0], st.Tuples[1], st.Puncts[0]+st.Puncts[1], st.Span.Millis())
 
+	// With -http, the join's live gauges are published through expvar:
+	// curl the endpoint mid-run (use -paced so the run lasts) to watch
+	// state size and punctuation lag move. Timestamps are the executor's
+	// wall-clock restamps, so a 10ms sampling tick is real time here.
+	var live *obs.Live
+	if *httpAddr != "" {
+		live = obs.NewLive(10 * stream.Millisecond)
+		expvar.Publish("pjoin", expvar.Func(func() any {
+			vals, at := live.LastValues()
+			return map[string]any{"sampled_at_ms": at.Millis(), "gauges": vals}
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				log.Printf("auctiond: http: %v", err)
+			}
+		}()
+		fmt.Printf("serving expvar and pprof on %s\n", *httpAddr)
+	}
+
 	p := exec.NewPipeline()
 	srcOpen, srcBid, joined, grouped := p.Edge(), p.Edge(), p.Edge(), p.Edge()
 	cfg := core.Config{
 		SchemaA: gen.OpenSchema, SchemaB: gen.BidSchema,
 		AttrA: 0, AttrB: 0, OutName: "Out1",
 		VerifyPunctuations: true,
+		Instr:              obs.NewInstr(nil, live, "join"),
 	}
 	cfg.Thresholds.Purge = *purge
 	cfg.Thresholds.PropagateCount = 1

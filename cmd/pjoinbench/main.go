@@ -11,6 +11,8 @@
 //	pjoinbench -fig 9 -quick     # 1/10th horizon smoke run
 //	pjoinbench -fig 7 -csv out.csv
 //	pjoinbench -fig scale1 -shards 1,4,16   # ShardedPJoin scaling sweep
+//	pjoinbench -fig 5 -trace fig5.jsonl     # JSONL event trace of the run
+//	pjoinbench -fig 5 -live 10 -csv out.csv # sample live gauges every 10ms
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"pjoin/internal/bench"
 	"pjoin/internal/metrics"
+	"pjoin/internal/obs"
 	"pjoin/internal/stream"
 )
 
@@ -36,6 +39,8 @@ func main() {
 		durMs  = flag.Int64("duration-ms", 0, "override virtual horizon in milliseconds")
 		csv    = flag.String("csv", "", "write the raw series to this CSV file")
 		shards = flag.String("shards", "", "comma-separated shard counts for the scaling experiments (e.g. 1,2,4,8)")
+		trace  = flag.String("trace", "", "write a JSONL operator event trace to this file")
+		liveMs = flag.Int64("live", 0, "sample live operator gauges every N virtual milliseconds (series go to -csv)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,17 @@ func main() {
 		Quick:    *quick,
 		Duration: stream.Time(*durMs) * stream.Millisecond,
 		Shards:   shardCounts,
+	}
+	var tracer *obs.JSONL
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f)
+		rc.Tracer = tracer
 	}
 
 	var exps []bench.Experiment
@@ -81,6 +97,11 @@ func main() {
 
 	var allSeries []metrics.Series
 	for _, e := range exps {
+		// A fresh sampler per experiment keeps gauge series from
+		// different experiments (which reuse operator names) apart.
+		if *liveMs > 0 {
+			rc.Live = obs.NewLive(stream.Time(*liveMs) * stream.Millisecond)
+		}
 		start := time.Now()
 		rep, err := e.Run(rc)
 		if err != nil {
@@ -96,6 +117,19 @@ func main() {
 			s.Name = rep.ID + "/" + s.Name
 			allSeries = append(allSeries, s)
 		}
+		if rc.Live != nil {
+			for _, s := range rc.Live.Series() {
+				s.Name = rep.ID + "/live/" + s.Name
+				allSeries = append(allSeries, s)
+			}
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d events to %s\n", tracer.Events(), *trace)
 	}
 
 	if *csv != "" {

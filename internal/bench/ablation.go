@@ -33,7 +33,7 @@ func runAblDropFly(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, func(c *core.Config) { c.DisableDropOnTheFly = disable })
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-nodrop-%t", disable), 1, func(c *core.Config) { c.DisableDropOnTheFly = disable })
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +70,7 @@ func runAblIndex(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, func(c *core.Config) {
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-eager-%t", eager), 1, func(c *core.Config) {
 			c.DisablePropagation = false
 			c.Thresholds.PropagateCount = 2
 			c.EagerIndex = eager
@@ -108,7 +108,7 @@ func runAblPurge(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, func(c *core.Config) { c.DisablePurge = disable })
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-nopurge-%t", disable), 1, func(c *core.Config) { c.DisablePurge = disable })
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func runAblCompact(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, func(c *core.Config) { c.CompactSets = compact })
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-compact-%t", compact), 1, func(c *core.Config) { c.CompactSets = compact })
 		if err != nil {
 			return nil, err
 		}
@@ -194,12 +194,12 @@ func runExtWindow(rc RunConfig) (*Report, error) {
 			c.Window = window
 		}},
 	}
-	for _, v := range variants {
+	for vi, v := range variants {
 		arrs, horizon, err := symmetricWorkload(rc, defShort, 40)
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, v.mutate)
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-v%d", vi), 1, v.mutate)
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@ import (
 	"pjoin/internal/core"
 	"pjoin/internal/gen"
 	"pjoin/internal/metrics"
+	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/sim"
 	"pjoin/internal/stream"
@@ -31,6 +32,19 @@ type RunConfig struct {
 	// Shards overrides the shard counts of the scaling experiments
 	// (default 1, 2, 4, 8).
 	Shards []int
+	// Tracer, when set, receives trace events from every operator the
+	// experiment builds (pjoinbench -trace).
+	Tracer obs.Tracer
+	// Live, when set, samples every operator's live gauges on its tick
+	// (pjoinbench -live). Operators register gauges under distinct names,
+	// so one sampler serves a whole experiment.
+	Live *obs.Live
+}
+
+// instr builds the observability handle for one operator instance; nil
+// (free to carry) when the run has neither tracer nor sampler.
+func (rc RunConfig) instr(name string) *obs.Instr {
+	return obs.NewInstr(rc.Tracer, rc.Live, name)
 }
 
 func (rc RunConfig) shardCounts() []int {
@@ -139,10 +153,13 @@ func ids() []string {
 
 // pjoinFor builds a PJoin over the synthetic schemas with the given
 // purge threshold (1 = eager) and otherwise experiment-default settings.
-func pjoinFor(purge int, mutate func(*core.Config)) (*core.PJoin, error) {
+// name identifies the instance in traces and live-gauge series; it must
+// be unique within one experiment run.
+func pjoinFor(rc RunConfig, name string, purge int, mutate func(*core.Config)) (*core.PJoin, error) {
 	cfg := core.Config{
 		SchemaA: gen.SchemaA, SchemaB: gen.SchemaB,
 		AttrA: gen.KeyAttr, AttrB: gen.KeyAttr,
+		Instr: rc.instr(name),
 	}
 	cfg.Thresholds.Purge = purge
 	cfg.DisablePropagation = true // most experiments measure join-only behaviour
@@ -152,10 +169,11 @@ func pjoinFor(purge int, mutate func(*core.Config)) (*core.PJoin, error) {
 	return core.New(cfg, &op.Collector{})
 }
 
-func xjoinFor() (*xjoin.XJoin, error) {
+func xjoinFor(rc RunConfig) (*xjoin.XJoin, error) {
 	return xjoin.New(xjoin.Config{
 		SchemaA: gen.SchemaA, SchemaB: gen.SchemaB,
 		AttrA: gen.KeyAttr, AttrB: gen.KeyAttr,
+		Instr: rc.instr("xjoin"),
 	}, &op.Collector{})
 }
 

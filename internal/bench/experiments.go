@@ -44,7 +44,7 @@ func runFig5(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pj, err := pjoinFor(1, nil)
+	pj, err := pjoinFor(rc, "pjoin", 1, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +52,7 @@ func runFig5(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	xj, err := xjoinFor()
+	xj, err := xjoinFor(rc)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +90,7 @@ func runFig6(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, nil)
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-pm%g", pm), 1, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +112,7 @@ func runFig7(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pj, err := pjoinFor(1, nil)
+	pj, err := pjoinFor(rc, "pjoin", 1, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +120,7 @@ func runFig7(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	xj, err := xjoinFor()
+	xj, err := xjoinFor(rc)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +176,7 @@ func runFig8(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(th, nil)
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-%d", th), th, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +206,7 @@ func runFig9(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(th, nil)
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-%d", th), th, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +240,7 @@ func runFig10(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, nil)
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-pb%g", pb), 1, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +275,7 @@ func runFig11(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pj, err := pjoinFor(1, nil)
+		pj, err := pjoinFor(rc, fmt.Sprintf("pjoin-pb%g", pb), 1, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -339,21 +339,21 @@ func fig1213(rc RunConfig) (*Report, *Report, error) {
 		mem.Rows = append(mem.Rows, []string{name, f1(s.Mean()), f1(s.Max())})
 		return nil
 	}
-	pj1, err := pjoinFor(1, nil)
+	pj1, err := pjoinFor(rc, "pjoin-1", 1, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := run("PJoin-1", pj1); err != nil {
 		return nil, nil, err
 	}
-	pjLazy, err := pjoinFor(40, nil)
+	pjLazy, err := pjoinFor(rc, "pjoin-40", 40, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := run("PJoin-40", pjLazy); err != nil {
 		return nil, nil, err
 	}
-	xj, err := xjoinFor()
+	xj, err := xjoinFor(rc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -378,7 +378,7 @@ func runFig14(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pj, err := pjoinFor(1, func(c *core.Config) {
+	pj, err := pjoinFor(rc, "pjoin", 1, func(c *core.Config) {
 		c.DisablePropagation = false
 		// Start propagation after a pair of equivalent punctuations has
 		// been received from both input streams (§4.4).

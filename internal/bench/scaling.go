@@ -77,7 +77,7 @@ func runScale1(rc RunConfig) (*Report, error) {
 		}
 		cfg.Thresholds.Purge = 1
 		cfg.Thresholds.PropagateCount = 1
-		j, err := parallel.New(parallel.Config{Shards: n, Join: cfg}, &nullEmitter{})
+		j, err := parallel.New(parallel.Config{Shards: n, Join: cfg, Instr: rc.instr(fmt.Sprintf("sharded-%d", n))}, &nullEmitter{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pjoin/internal/obs"
+	"pjoin/internal/op"
+	"pjoin/internal/store"
+	"pjoin/internal/stream"
+)
+
+// obsConfig is a configuration that exercises every traced path: eager
+// purge, propagation, and a memory threshold low enough that the bulk
+// phase of the workload forces state relocation (and therefore a disk
+// pass at the end).
+func obsConfig(rec obs.Tracer) Config {
+	cfg := defaultConfig()
+	cfg.Instr = obs.NewInstr(rec, nil, "pjoin")
+	cfg.Thresholds.Purge = 1
+	cfg.Thresholds.PropagateCount = 1
+	cfg.Thresholds.MemoryBytes = 256
+	return cfg
+}
+
+// obsWorkload grows the state first (tuples only, so relocation fires),
+// then punctuates every key on both sides (purge runs, left-over joins
+// park in purge buffers, propagation becomes possible).
+func obsWorkload() []feedItem {
+	var items []feedItem
+	ts := stream.Time(1)
+	for k := int64(0); k < 30; k++ {
+		items = append(items, tupA(k, "a", ts))
+		ts++
+		items = append(items, tupB(k, "b", ts))
+		ts++
+	}
+	for k := int64(0); k < 30; k++ {
+		items = append(items, punctFor(0, k, ts))
+		ts++
+		items = append(items, punctFor(1, k, ts))
+		ts++
+	}
+	return items
+}
+
+// TestObsEventsReconcileWithMetrics is the trace/metrics consistency
+// contract: every counted state transition emits exactly one event, so
+// an offline trace analysis reaches the same totals as the operator's
+// own counters.
+func TestObsEventsReconcileWithMetrics(t *testing.T) {
+	rec := obs.NewRecorder()
+	j, err := New(obsConfig(rec), &op.Collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, j, obsWorkload())
+
+	m := j.Metrics()
+	// The workload must actually reach the spill and propagation paths,
+	// or the reconciliation below is vacuous.
+	if m.Relocations == 0 || m.DiskPasses == 0 || m.PurgeRuns == 0 || m.PunctsOut == 0 {
+		t.Fatalf("workload missed a traced path: %+v", m)
+	}
+	checks := []struct {
+		kind obs.Kind
+		want int64
+	}{
+		{obs.KindTupleIn, m.TuplesIn[0] + m.TuplesIn[1]},
+		{obs.KindProbe, m.TuplesIn[0] + m.TuplesIn[1]},
+		{obs.KindPunctIn, m.PunctsIn[0] + m.PunctsIn[1]},
+		{obs.KindPurge, m.PurgeRuns},
+		{obs.KindPropagate, m.PunctsOut},
+		{obs.KindRelocate, m.Relocations},
+		{obs.KindDiskPass, m.DiskPasses},
+	}
+	for _, c := range checks {
+		if got := rec.Count(c.kind); got != c.want {
+			t.Errorf("%v events: got %d, want %d", c.kind, got, c.want)
+		}
+	}
+	// Purge work totals must reconcile too, not just run counts.
+	var removed, scanned int64
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindPurge {
+			removed += e.N
+			scanned += e.M
+		}
+	}
+	if scanned != m.PurgeScanned {
+		t.Errorf("purge events scanned %d tuples, metrics say %d", scanned, m.PurgeScanned)
+	}
+	// Event N counts memory removals only; Metrics.Purged additionally
+	// counts disk-pass drops, so it can only be larger.
+	if removed == 0 || removed > m.Purged {
+		t.Errorf("purge events removed %d tuples, metrics purged %d (want 0 < removed <= purged)", removed, m.Purged)
+	}
+}
+
+// TestPunctLag checks the punctuation-lag gauge source: before any
+// propagation the lag is the full stream time; after the final
+// propagation it collapses to now - lastPropagation.
+func TestPunctLag(t *testing.T) {
+	j, err := New(obsConfig(obs.NewRecorder()), &op.Collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := obsWorkload()
+	mid := items[:len(items)/2]
+	var last stream.Time
+	for _, fi := range mid {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+		last = fi.item.Ts
+	}
+	if got := j.PunctLag(); got != last {
+		t.Errorf("lag before any propagation: got %v, want full elapsed time %v", got, last)
+	}
+	for _, fi := range items[len(items)/2:] {
+		if err := j.Process(fi.port, fi.item, fi.item.Ts); err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+		last = fi.item.Ts
+	}
+	for port := 0; port < 2; port++ {
+		last++
+		if err := j.Process(port, stream.EOSItem(last), last); err != nil {
+			t.Fatalf("EOS: %v", err)
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if j.Metrics().PunctsOut == 0 {
+		t.Fatal("workload propagated nothing")
+	}
+	if got := j.PunctLag(); got < 0 || got >= last {
+		t.Errorf("lag after propagation: got %v, want small non-negative (< %v)", got, last)
+	}
+}
+
+// TestSpillAppendErrorSurfaces proves a failing spill device during
+// state relocation surfaces as a Process error (not a panic, not silent
+// state corruption) and is recorded as a spill-error trace event.
+func TestSpillAppendErrorSurfaces(t *testing.T) {
+	rec := obs.NewRecorder()
+	boom := errors.New("disk gone")
+	cfg := obsConfig(rec)
+	cfg.SpillA = store.NewFaultSpill(store.NewMemSpill(), store.FaultAppend, 1, boom)
+	cfg.SpillB = store.NewFaultSpill(store.NewMemSpill(), store.FaultAppend, 1, boom)
+	j, err := New(cfg, &op.Collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procErr error
+	for _, fi := range obsWorkload() {
+		if procErr = j.Process(fi.port, fi.item, fi.item.Ts); procErr != nil {
+			break
+		}
+	}
+	if !errors.Is(procErr, boom) {
+		t.Fatalf("Process error: got %v, want injected %v", procErr, boom)
+	}
+	if n := rec.Count(obs.KindSpillError); n == 0 {
+		t.Error("no spill-error event recorded")
+	}
+}
+
+// TestSpillReadErrorSurfaces proves a read failure during the disk-join
+// pass surfaces from Finish and is traced.
+func TestSpillReadErrorSurfaces(t *testing.T) {
+	rec := obs.NewRecorder()
+	boom := errors.New("unreadable sector")
+	cfg := obsConfig(rec)
+	cfg.SpillA = store.NewFaultSpill(store.NewMemSpill(), store.FaultRead, 1, boom)
+	cfg.SpillB = store.NewFaultSpill(store.NewMemSpill(), store.FaultRead, 1, boom)
+	j, err := New(cfg, &op.Collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last stream.Time
+	var runErr error
+	for _, fi := range obsWorkload() {
+		if runErr = j.Process(fi.port, fi.item, fi.item.Ts); runErr != nil {
+			break
+		}
+		last = fi.item.Ts
+	}
+	if runErr == nil {
+		for port := 0; port < 2; port++ {
+			last++
+			if runErr = j.Process(port, stream.EOSItem(last), last); runErr != nil {
+				break
+			}
+		}
+	}
+	if runErr == nil {
+		runErr = j.Finish(last + 1)
+	}
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("run error: got %v, want injected %v", runErr, boom)
+	}
+	if n := rec.Count(obs.KindSpillError); n == 0 {
+		t.Error("no spill-error event recorded")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
+	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/punct"
 	"pjoin/internal/store"
@@ -84,6 +85,10 @@ type Config struct {
 	// runs without propagation. An extension beyond the paper; see
 	// punct.Set.Compact.
 	CompactSets bool
+	// Instr is the observability handle (tracing + live metrics). nil
+	// disables observability entirely; the hot paths then pay a single
+	// nil check and zero allocations (see internal/obs).
+	Instr *obs.Instr
 	// Window, when positive, adds time-based sliding-window semantics on
 	// top of the punctuation machinery (paper §6, "extension for
 	// supporting sliding window"): a pair joins only if the older
@@ -131,6 +136,12 @@ type PJoin struct {
 	// under-count until a disk pass indexes the disk portion, so they
 	// must not propagate before then.
 	diskPending [2]map[punct.PID]bool
+
+	obs *obs.Instr
+	// lastPropTs is the arrival timestamp of the newest punctuation whose
+	// propagation has been released downstream; PunctLag measures how far
+	// the inputs have run ahead of it.
+	lastPropTs stream.Time
 
 	now      stream.Time
 	eos      [2]bool
@@ -199,11 +210,55 @@ func New(cfg Config, out op.Emitter) (*PJoin, error) {
 	j.psets[0] = punct.NewKeyedSet(cfg.AttrA, cfg.VerifyPunctuations)
 	j.psets[1] = punct.NewKeyedSet(cfg.AttrB, cfg.VerifyPunctuations)
 
+	j.obs = cfg.Instr
+	j.base.Obs = j.obs
+	j.registerGauges()
+
 	if err := j.buildRegistry(); err != nil {
 		return nil, err
 	}
 	return j, nil
 }
+
+// registerGauges exposes the operator's live metrics through the
+// attached sampler. The gauge closures read operator state directly;
+// they are safe because Live runs them from this operator's own
+// processing path (Instr.Tick inside Process) — see obs.Live.
+func (j *PJoin) registerGauges() {
+	lv := j.obs.Live()
+	if lv == nil {
+		return
+	}
+	name := j.obs.Op()
+	if name == "" {
+		name = j.Name()
+	}
+	lv.Register(name+".mem_bytes.a", func() float64 { return float64(j.base.States[0].MemBytes()) })
+	lv.Register(name+".mem_bytes.b", func() float64 { return float64(j.base.States[1].MemBytes()) })
+	lv.Register(name+".disk_bytes", func() float64 {
+		a, b := j.StateStats()
+		return float64(a.DiskBytes + b.DiskBytes)
+	})
+	lv.Register(name+".state_tuples", func() float64 { return float64(j.StateTuples()) })
+	lv.Register(name+".bucket_skew", func() float64 {
+		sk := j.base.States[0].MemBucketSkew()
+		if s1 := j.base.States[1].MemBucketSkew(); s1 > sk {
+			sk = s1
+		}
+		return sk
+	})
+	lv.Register(name+".punct_lag_ms", func() float64 { return j.PunctLag().Millis() })
+	// Cumulative; the output rate is its metrics.Series.Rate.
+	lv.Register(name+".tuples_out", func() float64 { return float64(j.base.M.TuplesOut) })
+}
+
+// PunctLag returns how far the inputs have run ahead of the newest
+// punctuation released downstream: newest input timestamp minus the
+// emission timestamp of the last propagated punctuation. A steadily
+// growing lag means downstream operators are starved of punctuations
+// (propagation disabled, thresholds too lazy, or match counts stuck
+// above zero).
+func (j *PJoin) PunctLag() stream.Time { return j.now - j.lastPropTs }
 
 // buildRegistry assembles the event-listener registry (paper Table 1)
 // from the configuration.
@@ -325,6 +380,7 @@ func (j *PJoin) Process(port int, it stream.Item, now stream.Time) error {
 		return fmt.Errorf("core: pjoin: Process after Finish")
 	}
 	j.now = maxTime(j.now, now)
+	j.obs.Tick(j.now)
 	switch it.Kind {
 	case stream.KindTuple:
 		return j.processTuple(port, it.Tuple)
@@ -350,6 +406,7 @@ func (j *PJoin) Process(port int, it stream.Item, now stream.Time) error {
 // future partner, in which case the tuple is dropped on the fly.
 func (j *PJoin) processTuple(s int, t *stream.Tuple) error {
 	j.base.M.TuplesIn[s]++
+	j.obs.Event(obs.KindTupleIn, t.Ts, s, 0, 0)
 	if err := j.mon.TupleArrived(t.Ts); err != nil {
 		return err
 	}
@@ -373,9 +430,11 @@ func (j *PJoin) processTuple(s int, t *stream.Tuple) error {
 		}
 	}
 
-	if _, err := j.base.ProbeOpposite(s, t); err != nil {
+	matches, err := j.base.ProbeOpposite(s, t)
+	if err != nil {
 		return err
 	}
+	j.obs.Event(obs.KindProbe, t.Ts, s, int64(matches), 0)
 
 	// Drop-on-the-fly (§4.3): the opposite punctuation set promises no
 	// future opposite tuple matches this key, so the tuple need never
@@ -407,6 +466,7 @@ func (j *PJoin) processTuple(s int, t *stream.Tuple) error {
 // propagation).
 func (j *PJoin) processPunct(s int, p punct.Punctuation, ts stream.Time) error {
 	j.base.M.PunctsIn[s]++
+	j.obs.Event(obs.KindPunctIn, ts, s, 0, 0)
 	if p.IsEmpty() {
 		// An empty punctuation matches nothing: it carries no
 		// information and is dropped without counting toward thresholds.
@@ -439,6 +499,7 @@ func (j *PJoin) schema(s int) *stream.Schema {
 // of being freed (§3.1); the disk join clears them.
 func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	j.base.M.PurgeRuns++
+	var removedRun, scannedRun int64
 	pset := j.psets[1-victim] // punctuations from the opposite stream
 	st := j.base.States[victim]
 	opp := j.base.States[1-victim]
@@ -449,12 +510,14 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 			continue
 		}
 		j.base.M.PurgeScanned += int64(bucketLen)
+		scannedRun += int64(bucketLen)
 		removed := st.FilterMem(i, func(sd *store.StoredTuple) bool {
 			return pset.SetMatchAttr(j.attrs[1-victim], sd.T.Values[attr])
 		})
 		if len(removed) == 0 {
 			continue
 		}
+		removedRun += int64(len(removed))
 		if opp.HasDisk(i) {
 			for _, sd := range removed {
 				st.AddToPurgeBuffer(i, sd, now)
@@ -466,6 +529,7 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 			j.base.M.Purged += int64(len(removed))
 		}
 	}
+	j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
 	return nil
 }
 
@@ -561,6 +625,8 @@ func (j *PJoin) propagate(now stream.Time) error {
 				return err
 			}
 			j.base.M.PunctsOut++
+			j.lastPropTs = maxTime(j.lastPropTs, now)
+			j.obs.Event(obs.KindPropagate, now, s, 0, 0)
 			if j.cfg.RetainPropagated {
 				e.Propagated = true
 			} else {
@@ -698,6 +764,9 @@ func (j *PJoin) Finish(now stream.Time) error {
 		}
 	}
 	j.finished = true
+	if lv := j.obs.Live(); lv != nil {
+		lv.Flush(j.now) // final sample so the series ends at the run's last state
+	}
 	return j.out.Emit(stream.EOSItem(j.now))
 }
 

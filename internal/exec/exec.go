@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/stream"
 )
@@ -61,6 +62,12 @@ type Pipeline struct {
 
 	// BufferSize is the channel capacity for new edges (default 256).
 	BufferSize int
+
+	// Obs is the pipeline's observability handle; each spawned operator
+	// gets a derived handle stamped with its name, and the executor
+	// records operator lifecycle events (start, finish) on it. nil
+	// disables observability. Set before Run.
+	Obs *obs.Instr
 
 	launched []func()
 	pulls    map[op.Operator]*PullHandle
@@ -228,6 +235,8 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		oin := p.Obs.Derive(o.Name(), -1)
+		oin.Event(obs.KindOpStart, stream.Time(time.Since(p.start)), -1, 0, 0)
 		var lastTs stream.Time
 		// stamp assigns the system arrival timestamp: strictly
 		// increasing, at least the wall-clock offset since start.
@@ -285,7 +294,9 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 					// Every port ended; flush and emit our own EOS.
 					if err := o.Finish(lastTs + 1); err != nil {
 						p.fail(fmt.Errorf("exec: %s: %w", o.Name(), err))
+						return
 					}
+					oin.Event(obs.KindOpFinish, lastTs+1, -1, 0, 0)
 					return
 				}
 				resetIdle()

@@ -29,6 +29,7 @@ package joinbase
 import (
 	"fmt"
 
+	"pjoin/internal/obs"
 	"pjoin/internal/store"
 	"pjoin/internal/stream"
 )
@@ -88,6 +89,11 @@ type Base struct {
 	Out    *stream.Schema
 	Emit   EmitFunc
 	M      Metrics
+
+	// Obs is the owning operator's instrumentation handle; nil (the
+	// default) disables observability. Base records the events it owns:
+	// spill relocations, disk-join passes, and spill-store failures.
+	Obs *obs.Instr
 
 	lastPass []stream.Time // per bucket; both states share the bucket space
 
@@ -190,10 +196,12 @@ func (b *Base) Relocate(now stream.Time, memBytes int64, beforeSpill func(side, 
 		}
 		n, err := b.States[side].SpillBucket(victim, now)
 		if err != nil {
+			b.Obs.SpillError(now, side, err)
 			return err
 		}
 		b.M.Relocations++
 		b.M.SpilledTuples += int64(n)
+		b.Obs.Event(obs.KindRelocate, now, side, int64(n), int64(victim))
 	}
 	return nil
 }
@@ -238,11 +246,14 @@ func (b *Base) NeedsPass() bool {
 // the disk portions (minus tuples DropDisk rejects).
 func (b *Base) DiskPass(now stream.Time, hooks PassHooks) error {
 	b.M.DiskPasses++
+	examinedBefore, joinsBefore := b.M.DiskExamined, b.M.DiskJoins
 	for i := 0; i < b.States[0].NumBuckets(); i++ {
 		if err := b.passBucket(i, now, hooks); err != nil {
 			return err
 		}
 	}
+	b.Obs.Event(obs.KindDiskPass, now, -1,
+		b.M.DiskExamined-examinedBefore, b.M.DiskJoins-joinsBefore)
 	return nil
 }
 
@@ -262,6 +273,7 @@ func (b *Base) passBucket(i int, now stream.Time, hooks PassHooks) error {
 		st := b.States[s]
 		d, err := st.ReadDisk(i)
 		if err != nil {
+			b.Obs.SpillError(now, s, err)
 			return err
 		}
 		if hooks.IndexDisk != nil {
@@ -333,6 +345,7 @@ func (b *Base) passBucket(i int, now stream.Time, hooks PassHooks) error {
 		// updated pids that must persist.
 		if dropped || hooks.IndexDisk != nil {
 			if err := b.States[s].RewriteDisk(i, keep); err != nil {
+				b.Obs.SpillError(now, s, err)
 				return err
 			}
 		}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+// The observability layer's contract: operators call Instr methods
+// unconditionally from their probe/insert hot paths, so the disabled
+// path must not allocate. Same convention as the hot-path guards in
+// internal/joinbase and internal/punct.
+
+func TestNilInstrDoesNotAllocate(t *testing.T) {
+	var in *Instr
+	allocs := testing.AllocsPerRun(1000, func() {
+		if in.Enabled() {
+			t.Fatal("unreachable")
+		}
+		in.Event(KindProbe, 1, 0, 2, 3)
+		in.Tick(1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil Instr hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestNopTracerInstrDoesNotAllocate(t *testing.T) {
+	in := NewInstr(Nop, nil, "pjoin")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if in.Enabled() {
+			t.Fatal("unreachable")
+		}
+		in.Event(KindProbe, 1, 0, 2, 3)
+		in.SpillError(1, 0, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("Nop-tracer hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestLiveTickNotDueDoesNotAllocate(t *testing.T) {
+	lv := NewLive(stream.Time(1 << 60)) // never due after the first claim
+	lv.Register("g", func() float64 { return 0 })
+	in := NewInstr(nil, lv, "pjoin")
+	in.Tick(0) // consume the initial sample
+	allocs := testing.AllocsPerRun(1000, func() {
+		in.Tick(1)
+	})
+	if allocs != 0 {
+		t.Errorf("not-due Tick allocates %.1f/op, want 0", allocs)
+	}
+}

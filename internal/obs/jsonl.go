@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL is a Tracer that renders each event as one JSON object per line:
+//
+//	{"ev":"purge","t_ns":120000000,"op":"pjoin","side":0,"n":42,"m":900}
+//
+// Zero-valued optional fields (shard < 0, side < 0, n/m/err zero) are
+// omitted to keep traces compact. Encoding is hand-rolled with
+// strconv.Append* so a traced run does not pay encoding/json reflection
+// per event; the hot cost is one mutex and a buffered write.
+type JSONL struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	buf    []byte
+	events int64
+	err    error
+}
+
+// NewJSONL returns a tracer writing to w. Call Flush before reading the
+// underlying writer's output.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// Enabled implements Tracer.
+func (j *JSONL) Enabled() bool { return true }
+
+// Trace implements Tracer.
+func (j *JSONL) Trace(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","t_ns":`...)
+	b = strconv.AppendInt(b, int64(e.At), 10)
+	if e.Op != "" {
+		b = append(b, `,"op":`...)
+		b = strconv.AppendQuote(b, e.Op)
+	}
+	if e.Shard >= 0 {
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendInt(b, int64(e.Shard), 10)
+	}
+	if e.Side >= 0 {
+		b = append(b, `,"side":`...)
+		b = strconv.AppendInt(b, int64(e.Side), 10)
+	}
+	if e.N != 0 {
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, e.N, 10)
+	}
+	if e.M != 0 {
+		b = append(b, `,"m":`...)
+		b = strconv.AppendInt(b, e.M, 10)
+	}
+	if e.Err != "" {
+		b = append(b, `,"err":`...)
+		b = strconv.AppendQuote(b, e.Err)
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.events++
+}
+
+// Events returns how many events were written successfully.
+func (j *JSONL) Events() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events
+}
+
+// Flush drains the buffer and returns the first error seen on the
+// underlying writer, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+var _ Tracer = (*JSONL)(nil)

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < numKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind should be unknown")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Trace(Event{Kind: KindPurge, At: 120 * stream.Millisecond, Op: "pjoin", Shard: -1, Side: 1, N: 42, M: 900})
+	j.Trace(Event{Kind: KindSpillError, At: 5, Op: "x\"join", Shard: 3, Side: -1, Err: `disk "gone"`})
+	j.Trace(Event{Kind: KindTupleIn, At: 0, Shard: -1, Side: 0})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Events() != 3 {
+		t.Errorf("Events = %d", j.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	// Every line must be valid JSON that encoding/json agrees with.
+	type rec struct {
+		Ev    string `json:"ev"`
+		TNs   int64  `json:"t_ns"`
+		Op    string `json:"op"`
+		Shard *int   `json:"shard"`
+		Side  *int   `json:"side"`
+		N     int64  `json:"n"`
+		M     int64  `json:"m"`
+		Err   string `json:"err"`
+	}
+	var r rec
+	if err := json.Unmarshal([]byte(lines[0]), &r); err != nil {
+		t.Fatalf("line 0 not JSON: %v (%s)", err, lines[0])
+	}
+	if r.Ev != "purge" || r.TNs != int64(120*stream.Millisecond) || r.Op != "pjoin" || r.N != 42 || r.M != 900 {
+		t.Errorf("line 0 = %+v", r)
+	}
+	if r.Shard != nil {
+		t.Error("shard -1 should be omitted")
+	}
+	if r.Side == nil || *r.Side != 1 {
+		t.Error("side 1 should be present")
+	}
+	r = rec{}
+	if err := json.Unmarshal([]byte(lines[1]), &r); err != nil {
+		t.Fatalf("line 1 not JSON: %v (%s)", err, lines[1])
+	}
+	if r.Ev != "spill_error" || r.Op != `x"join` || r.Err != `disk "gone"` {
+		t.Errorf("line 1 = %+v", r)
+	}
+	if r.Shard == nil || *r.Shard != 3 {
+		t.Error("shard 3 should be present")
+	}
+	r = rec{}
+	if err := json.Unmarshal([]byte(lines[2]), &r); err != nil {
+		t.Fatalf("line 2 not JSON: %v (%s)", err, lines[2])
+	}
+	if r.Ev != "tuple_in" || r.N != 0 {
+		t.Errorf("line 2 = %+v", r)
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSurfacesWriteError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 8})
+	for i := 0; i < 10000; i++ {
+		j.Trace(Event{Kind: KindTupleIn, At: stream.Time(i), Shard: -1, Side: -1})
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("Flush should report the sink error")
+	}
+}
+
+func TestRecorderCounts(t *testing.T) {
+	r := NewRecorder()
+	r.Trace(Event{Kind: KindPurge})
+	r.Trace(Event{Kind: KindPurge})
+	r.Trace(Event{Kind: KindPropagate})
+	if r.Count(KindPurge) != 2 || r.Count(KindPropagate) != 1 || r.Count(KindDiskPass) != 0 {
+		t.Errorf("counts wrong: %+v", r.Events())
+	}
+	if len(r.Events()) != 3 {
+		t.Errorf("Events = %d", len(r.Events()))
+	}
+}
+
+func TestInstrNilSafe(t *testing.T) {
+	var in *Instr
+	if in.Enabled() {
+		t.Error("nil Instr reports enabled")
+	}
+	in.Event(KindPurge, 0, 0, 1, 2)
+	in.SpillError(0, 0, errors.New("x"))
+	in.Tick(0)
+	if in.Derive("child", 2) != nil {
+		t.Error("Derive on nil should be nil")
+	}
+	if in.WithoutLive() != nil {
+		t.Error("WithoutLive on nil should be nil")
+	}
+	if in.Op() != "" || in.Live() != nil {
+		t.Error("nil accessors")
+	}
+	if NewInstr(nil, nil, "x") != nil {
+		t.Error("NewInstr(nil, nil) should be nil")
+	}
+}
+
+func TestInstrIdentityStamping(t *testing.T) {
+	r := NewRecorder()
+	in := NewInstr(r, nil, "pjoin")
+	in.Event(KindProbe, 7, 1, 3, 0)
+	sh := in.Derive("pjoin.shard", 4)
+	sh.Event(KindPurge, 9, 0, 10, 20)
+	sh.SpillError(11, 1, errors.New("boom"))
+	sh.SpillError(11, 1, nil) // nil error is dropped
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Op != "pjoin" || evs[0].Shard != -1 || evs[0].Side != 1 || evs[0].N != 3 {
+		t.Errorf("ev0 = %+v", evs[0])
+	}
+	if evs[1].Op != "pjoin.shard" || evs[1].Shard != 4 {
+		t.Errorf("ev1 = %+v", evs[1])
+	}
+	if evs[2].Kind != KindSpillError || evs[2].Err != "boom" {
+		t.Errorf("ev2 = %+v", evs[2])
+	}
+}
+
+func TestWithoutLiveKeepsTracingDropsSampling(t *testing.T) {
+	r := NewRecorder()
+	lv := NewLive(stream.Millisecond)
+	in := NewInstr(r, lv, "op")
+	bare := in.WithoutLive()
+	if bare == nil || bare.Live() != nil {
+		t.Fatal("WithoutLive should keep a live-less handle")
+	}
+	bare.Event(KindProbe, 1, 0, 1, 0)
+	if r.Count(KindProbe) != 1 {
+		t.Error("tracing lost")
+	}
+	// Live-only handle: stripping live leaves nothing worth keeping.
+	liveOnly := NewInstr(nil, lv, "op")
+	if liveOnly.WithoutLive() != nil {
+		t.Error("live-only handle minus live should be nil")
+	}
+	// No live attached: same handle comes back.
+	noLive := NewInstr(r, nil, "op")
+	if noLive.WithoutLive() != noLive {
+		t.Error("handle without live should be returned unchanged")
+	}
+}
+
+func TestLiveSampling(t *testing.T) {
+	lv := NewLive(10 * stream.Millisecond)
+	var state float64
+	lv.Register("state_bytes", func() float64 { return state })
+	lv.Register("disk_bytes", func() float64 { return state * 2 })
+
+	state = 5
+	lv.Tick(0) // first tick samples (deadline starts at 0)
+	state = 7
+	lv.Tick(3 * stream.Millisecond) // not due
+	state = 9
+	lv.Tick(12 * stream.Millisecond) // due
+	state = 11
+	lv.Flush(15 * stream.Millisecond) // forced
+
+	series := lv.Series()
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	// Sorted by name: disk_bytes, state_bytes.
+	sb := series[1]
+	if sb.Name != "state_bytes" {
+		t.Fatalf("series order: %q", sb.Name)
+	}
+	if sb.Len() != 3 {
+		t.Fatalf("points = %d, want 3 (tick@0, tick@12, flush@15)", sb.Len())
+	}
+	want := []float64{5, 9, 11}
+	for i, w := range want {
+		if sb.Points[i].V != w {
+			t.Errorf("point %d = %g, want %g", i, sb.Points[i].V, w)
+		}
+	}
+	last, at := lv.LastValues()
+	if last["state_bytes"] != 11 || last["disk_bytes"] != 22 {
+		t.Errorf("LastValues = %v", last)
+	}
+	if at != 15*stream.Millisecond {
+		t.Errorf("lastAt = %v", at)
+	}
+}
+
+func TestLiveConcurrentTickSamplesOnce(t *testing.T) {
+	lv := NewLive(10 * stream.Millisecond)
+	calls := 0
+	lv.Register("g", func() float64 { calls++; return 0 })
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			lv.Tick(5 * stream.Millisecond)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	lv.mu.Lock()
+	got := calls
+	lv.mu.Unlock()
+	if got != 1 {
+		t.Errorf("gauge ran %d times for one due tick", got)
+	}
+}

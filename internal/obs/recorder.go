@@ -1,0 +1,47 @@
+package obs
+
+import "sync"
+
+// Recorder is a Tracer that keeps every event in memory, for tests and
+// for reconciling trace counts against operator metrics.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled implements Tracer.
+func (r *Recorder) Enabled() bool { return true }
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns how many events of the given kind were recorded.
+func (r *Recorder) Count(k Kind) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Tracer = (*Recorder)(nil)

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"testing"
+
+	"pjoin/internal/gen"
+	"pjoin/internal/obs"
+	"pjoin/internal/stream"
+)
+
+// TestObsShardEvents checks the sharded join's trace: the router emits
+// one route event per data tuple, the merger one merge event per
+// forwarded punctuation, and every shard-originated event carries its
+// shard index so a trace can be demultiplexed offline.
+func TestObsShardEvents(t *testing.T) {
+	gc := gen.Config{
+		Seed: 3, MaxTuples: 600, Duration: 1 << 62, WindowKeys: 8,
+		A: gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: 12},
+		B: gen.SideSpec{TupleMean: 2 * stream.Millisecond, PunctMean: 12},
+	}
+	arrs, err := gen.Synthetic(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := gen.Summarize(arrs)
+
+	const shards = 4
+	rec := obs.NewRecorder()
+	cfg := baseConfig()
+	sink := &lockedCollector{}
+	j, err := New(Config{Shards: shards, Join: cfg, Instr: obs.NewInstr(rec, nil, "sharded")}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, j, arrs)
+	m := j.Metrics()
+
+	wantTuples := int64(sum.Tuples[0] + sum.Tuples[1])
+	if got := rec.Count(obs.KindShardRoute); got != wantTuples {
+		t.Errorf("route events: got %d, want one per tuple (%d)", got, wantTuples)
+	}
+	if got := rec.Count(obs.KindShardMerge); got != m.PunctsOut {
+		t.Errorf("merge events: got %d, want one per forwarded punctuation (%d)", got, m.PunctsOut)
+	}
+	// Route events name the target shard; every shard must have been hit
+	// (8 keys over 4 shards with this seed).
+	hit := map[int64]bool{}
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindShardRoute {
+			if e.N < 0 || e.N >= shards {
+				t.Fatalf("route event targets shard %d, want 0..%d", e.N, shards-1)
+			}
+			hit[e.N] = true
+		}
+	}
+	if len(hit) != shards {
+		t.Errorf("route events hit %d shards, want all %d", len(hit), shards)
+	}
+	// Shard-side events (arrivals, probes, purges...) are stamped with
+	// their shard index and the derived operator name; router/merger
+	// events are not shard-stamped.
+	perShard := map[int32]int64{}
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case obs.KindShardRoute, obs.KindShardMerge:
+			if e.Shard >= 0 {
+				t.Fatalf("router event %v stamped with shard %d", e.Kind, e.Shard)
+			}
+		case obs.KindTupleIn, obs.KindProbe, obs.KindPunctIn, obs.KindPurge, obs.KindPropagate:
+			if e.Shard < 0 || e.Shard >= shards {
+				t.Fatalf("shard event %v has shard %d, want 0..%d", e.Kind, e.Shard, shards-1)
+			}
+			perShard[e.Shard]++
+		}
+	}
+	if len(perShard) != shards {
+		t.Errorf("shard-stamped events from %d shards, want %d", len(perShard), shards)
+	}
+	// Per-shard tuple arrivals must sum to the stream total (each tuple
+	// goes to exactly one shard).
+	if got := rec.Count(obs.KindTupleIn); got != wantTuples {
+		t.Errorf("shard tuple arrivals: got %d, want %d", got, wantTuples)
+	}
+	// Punctuations fan out to every shard.
+	wantPuncts := int64(sum.Puncts[0]+sum.Puncts[1]) * shards
+	if got := rec.Count(obs.KindPunctIn); got != wantPuncts {
+		t.Errorf("shard punct arrivals: got %d, want %d (stream puncts x shards)", got, wantPuncts)
+	}
+}

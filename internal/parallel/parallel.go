@@ -68,6 +68,7 @@ import (
 
 	"pjoin/internal/core"
 	"pjoin/internal/joinbase"
+	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/stream"
 )
@@ -88,8 +89,15 @@ type Config struct {
 	QueueSize int
 	// Join is the per-shard PJoin configuration. SpillA/SpillB must be
 	// nil: every shard owns fresh spill stores. NumBuckets and
-	// Thresholds (purge, memory, propagation) apply per shard.
+	// Thresholds (purge, memory, propagation) apply per shard. Join.Instr
+	// must be nil too: shards receive handles derived from Instr.
 	Join core.Config
+	// Instr is the sharded operator's observability handle. Tracing is
+	// forwarded to the shards (each stamps its shard index); the live
+	// sampler is NOT — shard goroutines must never run the aggregated
+	// gauges, which take the shard locks. The router goroutine ticks the
+	// sampler instead.
+	Instr *obs.Instr
 }
 
 type msgKind uint8
@@ -140,6 +148,7 @@ type ShardedPJoin struct {
 	merge  *merger
 	shards []*shard
 	attrs  [2]int
+	instr  *obs.Instr
 
 	eos      [2]bool
 	finished bool
@@ -164,6 +173,9 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 	if cfg.Join.SpillA != nil || cfg.Join.SpillB != nil {
 		return nil, fmt.Errorf("parallel: per-shard spill stores are created internally; leave SpillA/SpillB nil")
 	}
+	if cfg.Join.Instr != nil {
+		return nil, fmt.Errorf("parallel: per-shard instrumentation is derived internally; set Config.Instr, leave Join.Instr nil")
+	}
 	q := cfg.QueueSize
 	if q <= 0 {
 		q = DefaultQueueSize
@@ -172,10 +184,19 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 		cfg:   cfg,
 		out:   out,
 		attrs: [2]int{cfg.Join.AttrA, cfg.Join.AttrB},
-		merge: &merger{out: out, n: cfg.Shards, pending: make(map[string]*pendingPunct)},
+		instr: cfg.Instr,
+		merge: &merger{out: out, n: cfg.Shards, in: cfg.Instr, pending: make(map[string]*pendingPunct)},
+	}
+	shardName := cfg.Instr.Op()
+	if shardName == "" {
+		shardName = "pjoin"
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		pj, err := core.New(cfg.Join, j.merge.emitter())
+		shardCfg := cfg.Join
+		// Tracing only: a shard goroutine running the aggregated gauges
+		// (which lock every shard) would deadlock against itself.
+		shardCfg.Instr = cfg.Instr.WithoutLive().Derive(shardName, i)
+		pj, err := core.New(shardCfg, j.merge.emitter())
 		if err != nil {
 			// Unwind shards already started so their goroutines exit.
 			for _, sh := range j.shards {
@@ -188,7 +209,31 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 		go j.runShard(sh)
 	}
 	j.outSc = j.shards[0].pj.OutSchema()
+	j.registerGauges()
 	return j, nil
+}
+
+// registerGauges exposes the aggregated (cross-shard) live metrics. The
+// gauges snapshot shards under their locks; they run only from the
+// router goroutine (Instr.Tick in Process), never from a shard.
+func (j *ShardedPJoin) registerGauges() {
+	lv := j.instr.Live()
+	if lv == nil {
+		return
+	}
+	name := j.instr.Op()
+	if name == "" {
+		name = j.Name()
+	}
+	lv.Register(name+".state_tuples", func() float64 { return float64(j.StateTuples()) })
+	lv.Register(name+".route_skew", func() float64 { return Skew(j.ShardStats()) })
+	lv.Register(name+".pending_puncts", func() float64 { return float64(j.PendingPunctuations()) })
+	lv.Register(name+".tuples_out", func() float64 { return float64(j.Metrics().TuplesOut) })
+	lv.Register(name+".puncts_out", func() float64 {
+		j.merge.mu.Lock()
+		defer j.merge.mu.Unlock()
+		return float64(j.merge.punctsOut)
+	})
 }
 
 // runShard is a shard's goroutine: it applies queued work to the
@@ -270,6 +315,9 @@ func (j *ShardedPJoin) Process(port int, it stream.Item, now stream.Time) error 
 	if err := j.errNow(); err != nil {
 		return fmt.Errorf("parallel: %s: shard failed: %w", j.Name(), err)
 	}
+	// The router goroutine owns the live sampler: shard handles are
+	// trace-only (see Config.Instr), so the aggregated gauges run here.
+	j.instr.Tick(now)
 	switch it.Kind {
 	case stream.KindTuple:
 		attr := j.attrs[port]
@@ -279,6 +327,7 @@ func (j *ShardedPJoin) Process(port int, it stream.Item, now stream.Time) error 
 		}
 		s := int(it.Tuple.Values[attr].Hash() % uint64(len(j.shards)))
 		j.shards[s].routed.Add(1)
+		j.instr.Event(obs.KindShardRoute, now, port, int64(s), 0)
 		j.send(j.shards[s], message{kind: msgItem, port: port, item: it, now: now})
 	case stream.KindPunct:
 		for _, sh := range j.shards {
@@ -363,6 +412,9 @@ func (j *ShardedPJoin) Finish(now stream.Time) error {
 	}
 	if now > ts {
 		ts = now
+	}
+	if lv := j.instr.Live(); lv != nil {
+		lv.Flush(ts) // final aggregated sample; all shards are drained
 	}
 	return j.out.Emit(stream.EOSItem(ts))
 }
@@ -456,6 +508,7 @@ func Skew(stats []ShardStats) float64 {
 type merger struct {
 	out op.Emitter
 	n   int
+	in  *obs.Instr
 
 	mu        sync.Mutex
 	pending   map[string]*pendingPunct
@@ -500,6 +553,7 @@ func (m *merger) emitter() op.Emitter {
 			}
 			delete(m.pending, key)
 			m.punctsOut++
+			m.in.Event(obs.KindShardMerge, pp.ts, -1, int64(m.n), 0)
 			return m.out.Emit(stream.PunctItem(it.Punct, pp.ts))
 		case stream.KindEOS:
 			// Shard EOS is bookkeeping only; ShardedPJoin.Finish emits

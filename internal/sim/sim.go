@@ -139,7 +139,12 @@ type costTracker struct {
 func (c *costTracker) ioNow() store.IOStats {
 	var total store.IOStats
 	for _, s := range c.spills {
-		st := s.Stats()
+		st, err := s.Stats()
+		if err != nil {
+			// A closed store's traffic was already charged while it was
+			// open; it contributes nothing further.
+			continue
+		}
 		total.ReadOps += st.ReadOps
 		total.WriteOps += st.WriteOps
 		total.BytesRead += st.BytesRead

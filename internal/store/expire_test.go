@@ -149,7 +149,7 @@ func TestStateWithFileSpill(t *testing.T) {
 			t.Errorf("rewritten bucket holds %d", len(back))
 		}
 	}
-	if fs.Stats().BytesWritten == 0 || fs.Stats().BytesRead == 0 {
-		t.Error("file spill stats empty")
+	if st, err := fs.Stats(); err != nil || st.BytesWritten == 0 || st.BytesRead == 0 {
+		t.Errorf("file spill stats empty or errored: %+v, %v", st, err)
 	}
 }

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultOp selects which SpillStore operations a FaultSpill counts toward
+// its failure trigger.
+type FaultOp uint8
+
+// Fault-countable operations. FaultAny counts every data-path operation
+// (Append, Read and Truncate); Size, Stats and Close never fault.
+const (
+	FaultAppend FaultOp = 1 << iota
+	FaultRead
+	FaultTruncate
+
+	FaultAny = FaultAppend | FaultRead | FaultTruncate
+)
+
+// FaultSpill wraps a SpillStore and injects an error on the Nth counted
+// operation and every counted operation after it (a failed disk stays
+// failed). It exists so tests can prove the operators surface spill
+// errors instead of corrupting state or panicking — the same error path
+// the tracer records as a spill-error event.
+type FaultSpill struct {
+	inner  SpillStore
+	mask   FaultOp
+	err    error
+	mu     sync.Mutex
+	count  int64 // counted ops seen so far
+	failAt int64 // 1-based index of the first failing op
+}
+
+// NewFaultSpill wraps inner so that the failAt-th operation matching mask
+// (1-based), and every matching operation after it, fails with err.
+// failAt <= 0 never fails.
+func NewFaultSpill(inner SpillStore, mask FaultOp, failAt int64, err error) *FaultSpill {
+	if err == nil {
+		err = fmt.Errorf("store: injected spill fault")
+	}
+	return &FaultSpill{inner: inner, mask: mask, err: err, failAt: failAt}
+}
+
+// Ops returns how many counted operations have been observed.
+func (f *FaultSpill) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// tick counts one operation of the given kind and reports the injected
+// error once the trigger is reached.
+func (f *FaultSpill) tick(op FaultOp) error {
+	if f.mask&op == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count++
+	if f.failAt > 0 && f.count >= f.failAt {
+		return f.err
+	}
+	return nil
+}
+
+// Append implements SpillStore.
+func (f *FaultSpill) Append(partition int, data []byte) error {
+	if err := f.tick(FaultAppend); err != nil {
+		return err
+	}
+	return f.inner.Append(partition, data)
+}
+
+// Read implements SpillStore.
+func (f *FaultSpill) Read(partition int) ([]byte, error) {
+	if err := f.tick(FaultRead); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(partition)
+}
+
+// Truncate implements SpillStore.
+func (f *FaultSpill) Truncate(partition int) error {
+	if err := f.tick(FaultTruncate); err != nil {
+		return err
+	}
+	return f.inner.Truncate(partition)
+}
+
+// Size implements SpillStore.
+func (f *FaultSpill) Size(partition int) (int64, error) { return f.inner.Size(partition) }
+
+// Stats implements SpillStore.
+func (f *FaultSpill) Stats() (IOStats, error) { return f.inner.Stats() }
+
+// Close implements SpillStore.
+func (f *FaultSpill) Close() error { return f.inner.Close() }
+
+var _ SpillStore = (*FaultSpill)(nil)

@@ -11,7 +11,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -38,8 +40,9 @@ type SpillStore interface {
 	Truncate(partition int) error
 	// Size returns the partition's length in bytes.
 	Size(partition int) (int64, error)
-	// Stats returns cumulative I/O counters.
-	Stats() IOStats
+	// Stats returns cumulative I/O counters. Only successful operations
+	// are counted: a failed read or write contributes nothing.
+	Stats() (IOStats, error)
 	// Close releases resources. The store is unusable afterwards.
 	Close() error
 }
@@ -102,14 +105,20 @@ func (m *MemSpill) Truncate(partition int) error {
 func (m *MemSpill) Size(partition int) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.done {
+		return 0, fmt.Errorf("store: size on closed MemSpill")
+	}
 	return int64(len(m.parts[partition])), nil
 }
 
 // Stats implements SpillStore.
-func (m *MemSpill) Stats() IOStats {
+func (m *MemSpill) Stats() (IOStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	if m.done {
+		return IOStats{}, fmt.Errorf("store: stats on closed MemSpill")
+	}
+	return m.stats, nil
 }
 
 // Close implements SpillStore.
@@ -144,12 +153,15 @@ func NewFileSpill(dir string) (*FileSpill, error) {
 // Dir returns the directory holding the partition files.
 func (f *FileSpill) Dir() string { return f.dir }
 
+func (f *FileSpill) partPath(partition int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("part-%06d.bin", partition))
+}
+
 func (f *FileSpill) file(partition int) (*os.File, error) {
 	if fh, ok := f.files[partition]; ok {
 		return fh, nil
 	}
-	path := filepath.Join(f.dir, fmt.Sprintf("part-%06d.bin", partition))
-	fh, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	fh, err := os.OpenFile(f.partPath(partition), os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("store: open partition %d: %w", partition, err)
 	}
@@ -172,11 +184,11 @@ func (f *FileSpill) Append(partition int, data []byte) error {
 		return fmt.Errorf("store: seek partition %d: %w", partition, err)
 	}
 	n, err := fh.Write(data)
-	f.stats.WriteOps++
-	f.stats.BytesWritten += int64(n)
 	if err != nil {
 		return fmt.Errorf("store: write partition %d: %w", partition, err)
 	}
+	f.stats.WriteOps++
+	f.stats.BytesWritten += int64(n)
 	return nil
 }
 
@@ -195,8 +207,8 @@ func (f *FileSpill) Read(partition int) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: stat partition %d: %w", partition, err)
 	}
-	buf := make([]byte, st.Size())
-	if _, err := fh.ReadAt(buf, 0); err != nil && st.Size() > 0 {
+	buf, err := readAt(fh, st.Size())
+	if err != nil {
 		return nil, fmt.Errorf("store: read partition %d: %w", partition, err)
 	}
 	f.stats.ReadOps++
@@ -204,7 +216,26 @@ func (f *FileSpill) Read(partition int) ([]byte, error) {
 	return buf, nil
 }
 
-// Truncate implements SpillStore.
+// readAt reads exactly size bytes from offset 0. The io.ReaderAt contract
+// allows a read that ends exactly at end-of-input to return either nil or
+// io.EOF, so a full read with io.EOF is success; every other error is an
+// error, including on a zero-length input.
+func readAt(r io.ReaderAt, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	n, err := r.ReadAt(buf, 0)
+	if errors.Is(err, io.EOF) && int64(n) == size {
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Truncate implements SpillStore. The partition's file is closed and
+// removed (not merely truncated): a discarded partition must not keep an
+// open descriptor pinning a deleted inode. A later Append re-creates the
+// file lazily.
 func (f *FileSpill) Truncate(partition int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -215,8 +246,13 @@ func (f *FileSpill) Truncate(partition int) error {
 	if !ok {
 		return nil
 	}
-	if err := fh.Truncate(0); err != nil {
-		return fmt.Errorf("store: truncate partition %d: %w", partition, err)
+	delete(f.files, partition)
+	closeErr := fh.Close()
+	if err := os.Remove(f.partPath(partition)); err != nil {
+		return fmt.Errorf("store: remove partition %d: %w", partition, err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("store: close partition %d: %w", partition, closeErr)
 	}
 	return nil
 }
@@ -225,6 +261,9 @@ func (f *FileSpill) Truncate(partition int) error {
 func (f *FileSpill) Size(partition int) (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.done {
+		return 0, fmt.Errorf("store: size on closed FileSpill")
+	}
 	fh, ok := f.files[partition]
 	if !ok {
 		return 0, nil
@@ -237,10 +276,13 @@ func (f *FileSpill) Size(partition int) (int64, error) {
 }
 
 // Stats implements SpillStore.
-func (f *FileSpill) Stats() IOStats {
+func (f *FileSpill) Stats() (IOStats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.stats
+	if f.done {
+		return IOStats{}, fmt.Errorf("store: stats on closed FileSpill")
+	}
+	return f.stats, nil
 }
 
 // Close implements SpillStore, removing all partition files.

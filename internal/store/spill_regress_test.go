@@ -1,0 +1,127 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regression tests for the spill-path bugs fixed alongside the
+// observability layer: the io.ReaderAt EOF contract, stats counted on
+// failed writes, and Truncate leaving descriptors open.
+
+// eofReaderAt returns its payload with io.EOF on a read that reaches the
+// end — the behaviour io.ReaderAt explicitly permits and which the old
+// FileSpill.Read turned into a spurious failure.
+type eofReaderAt struct{ data []byte }
+
+func (r eofReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n := copy(p, r.data[off:])
+	if int(off)+n == len(r.data) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// errReaderAt always fails.
+type errReaderAt struct{ err error }
+
+func (r errReaderAt) ReadAt([]byte, int64) (int, error) { return 0, r.err }
+
+func TestReadAtFullReadWithEOFIsSuccess(t *testing.T) {
+	got, err := readAt(eofReaderAt{data: []byte("abcdef")}, 6)
+	if err != nil {
+		t.Fatalf("full read returning io.EOF must succeed, got %v", err)
+	}
+	if string(got) != "abcdef" {
+		t.Errorf("readAt = %q", got)
+	}
+}
+
+func TestReadAtErrorOnEmptyInputPropagates(t *testing.T) {
+	// The old guard (err != nil && size > 0) swallowed real errors on
+	// empty partitions.
+	boom := errors.New("disk gone")
+	if _, err := readAt(errReaderAt{err: boom}, 0); !errors.Is(err, boom) {
+		t.Fatalf("error on empty partition swallowed: got %v", err)
+	}
+}
+
+func TestReadAtShortReadWithEOFIsError(t *testing.T) {
+	if _, err := readAt(eofReaderAt{data: []byte("ab")}, 5); !errors.Is(err, io.EOF) {
+		t.Fatalf("short read must surface io.EOF, got %v", err)
+	}
+}
+
+// TestFileSpillAppendErrorLeavesStatsUntouched points a partition file at
+// /dev/full so the write fails with ENOSPC, and checks that the failed
+// write contributes nothing to the I/O counters.
+func TestFileSpillAppendErrorLeavesStatsUntouched(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skipf("/dev/full unavailable: %v", err)
+	}
+	fs, err := NewFileSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := os.Symlink("/dev/full", fs.partPath(7)); err != nil {
+		t.Skipf("cannot symlink: %v", err)
+	}
+	if err := fs.Append(7, []byte("doomed")); err == nil {
+		t.Fatal("append to /dev/full should fail")
+	}
+	st, err := fs.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WriteOps != 0 || st.BytesWritten != 0 {
+		t.Errorf("failed write counted in stats: %+v", st)
+	}
+}
+
+// TestFileSpillTruncateReleasesFile checks that Truncate closes the
+// partition's descriptor and removes the file, instead of keeping an open
+// handle to a zero-length file forever.
+func TestFileSpillTruncateReleasesFile(t *testing.T) {
+	fs, err := NewFileSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Append(3, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := fs.partPath(3)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("partition file missing before truncate: %v", err)
+	}
+	if err := fs.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("partition file still on disk after truncate: %v", err)
+	}
+	if _, ok := fs.files[3]; ok {
+		t.Error("files map still holds the truncated partition's handle")
+	}
+	// The partition is usable again afterwards.
+	if err := fs.Append(3, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fs.Read(3); err != nil || string(got) != "new" {
+		t.Errorf("Read after truncate+append = %q, %v", got, err)
+	}
+	// Only real files remain in the spill directory.
+	ents, err := os.ReadDir(fs.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".bin" {
+			t.Errorf("unexpected entry %q in spill dir", e.Name())
+		}
+	}
+}

@@ -83,7 +83,10 @@ func spillSuite(t *testing.T, mk func(t *testing.T) SpillStore) {
 		s.Append(0, make([]byte, 100))
 		s.Append(0, make([]byte, 50))
 		s.Read(0)
-		st := s.Stats()
+		st, err := s.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if st.WriteOps != 2 || st.BytesWritten != 150 {
 			t.Errorf("write stats = %+v", st)
 		}
@@ -93,13 +96,25 @@ func spillSuite(t *testing.T, mk func(t *testing.T) SpillStore) {
 	})
 
 	t.Run("closed store errors", func(t *testing.T) {
+		// Every method must answer "closed" uniformly — including Size
+		// and Stats, which historically leaked zero values instead.
 		s := mk(t)
+		s.Append(0, []byte("x"))
 		s.Close()
 		if err := s.Append(0, []byte("x")); err == nil {
 			t.Error("Append after Close should error")
 		}
 		if _, err := s.Read(0); err == nil {
 			t.Error("Read after Close should error")
+		}
+		if err := s.Truncate(0); err == nil {
+			t.Error("Truncate after Close should error")
+		}
+		if _, err := s.Size(0); err == nil {
+			t.Error("Size after Close should error")
+		}
+		if _, err := s.Stats(); err == nil {
+			t.Error("Stats after Close should error")
 		}
 	})
 }

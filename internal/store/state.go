@@ -319,6 +319,25 @@ func (st *State) RewriteDisk(i int, tuples []*StoredTuple) error {
 	return nil
 }
 
+// MemBucketSkew summarises hash-bucket balance: the ratio of the fullest
+// bucket's memory-resident tuple count to the mean over all buckets
+// (1.0 = perfectly uniform, higher = more skewed). Returns 0 for an
+// empty memory portion. This is the bucket-occupancy gauge the
+// observability layer samples.
+func (st *State) MemBucketSkew() float64 {
+	if st.stats.MemTuples == 0 {
+		return 0
+	}
+	maxN := 0
+	for i := range st.bkts {
+		if n := len(st.bkts[i].Mem); n > maxN {
+			maxN = n
+		}
+	}
+	mean := float64(st.stats.MemTuples) / float64(len(st.bkts))
+	return float64(maxN) / mean
+}
+
 // HasDisk reports whether bucket i has a non-empty on-disk portion.
 func (st *State) HasDisk(i int) bool { return st.bkts[i].DiskTuples > 0 }
 

@@ -1,0 +1,91 @@
+package xjoin
+
+import (
+	"errors"
+	"testing"
+
+	"pjoin/internal/obs"
+	"pjoin/internal/op"
+	"pjoin/internal/store"
+	"pjoin/internal/stream"
+)
+
+func obsConfig(rec obs.Tracer) Config {
+	return Config{
+		SchemaA: schemaA, SchemaB: schemaB,
+		AttrA: 0, AttrB: 0,
+		MemoryBytes: 256,
+		Instr:       obs.NewInstr(rec, nil, "xjoin"),
+	}
+}
+
+func obsWorkload() []feedItem {
+	var items []feedItem
+	ts := stream.Time(1)
+	for k := int64(0); k < 30; k++ {
+		items = append(items, tupA(k, "a", ts))
+		ts++
+		items = append(items, tupB(k, "b", ts))
+		ts++
+	}
+	return items
+}
+
+// TestObsEventsReconcileWithMetrics: the baseline traces the same
+// arrival/probe/spill events as PJoin (minus anything
+// punctuation-related — XJoin has no purge or propagation).
+func TestObsEventsReconcileWithMetrics(t *testing.T) {
+	rec := obs.NewRecorder()
+	j, err := New(obsConfig(rec), &op.Collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, j, obsWorkload())
+
+	m := j.Metrics()
+	if m.Relocations == 0 || m.DiskPasses == 0 {
+		t.Fatalf("workload missed the spill path: %+v", m)
+	}
+	checks := []struct {
+		kind obs.Kind
+		want int64
+	}{
+		{obs.KindTupleIn, m.TuplesIn[0] + m.TuplesIn[1]},
+		{obs.KindProbe, m.TuplesIn[0] + m.TuplesIn[1]},
+		{obs.KindRelocate, m.Relocations},
+		{obs.KindDiskPass, m.DiskPasses},
+		{obs.KindPurge, 0},
+		{obs.KindPropagate, 0},
+	}
+	for _, c := range checks {
+		if got := rec.Count(c.kind); got != c.want {
+			t.Errorf("%v events: got %d, want %d", c.kind, got, c.want)
+		}
+	}
+}
+
+// TestSpillAppendErrorSurfaces: a failing spill device during XJoin's
+// state relocation surfaces as a Process error and a spill-error event.
+func TestSpillAppendErrorSurfaces(t *testing.T) {
+	rec := obs.NewRecorder()
+	boom := errors.New("disk gone")
+	cfg := obsConfig(rec)
+	cfg.SpillA = store.NewFaultSpill(store.NewMemSpill(), store.FaultAppend, 1, boom)
+	cfg.SpillB = store.NewFaultSpill(store.NewMemSpill(), store.FaultAppend, 1, boom)
+	j, err := New(cfg, &op.Collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procErr error
+	for _, fi := range obsWorkload() {
+		if procErr = j.Process(fi.port, fi.item, fi.item.Ts); procErr != nil {
+			break
+		}
+	}
+	if !errors.Is(procErr, boom) {
+		t.Fatalf("Process error: got %v, want injected %v", procErr, boom)
+	}
+	if rec.Count(obs.KindSpillError) == 0 {
+		t.Error("no spill-error event recorded")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
+	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/store"
 	"pjoin/internal/stream"
@@ -41,6 +42,9 @@ type Config struct {
 	// DiskJoinIdle is the reactive disk-join activation threshold: how
 	// long the inputs must stall before a background disk pass runs.
 	DiskJoinIdle stream.Time
+	// Instr is the observability handle (tracing + live metrics); nil
+	// disables observability (see internal/obs).
+	Instr *obs.Instr
 }
 
 // XJoin is the baseline stream join. It implements op.Operator with two
@@ -109,6 +113,8 @@ func New(cfg Config, out op.Emitter) (*XJoin, error) {
 	if err != nil {
 		return nil, err
 	}
+	x.base.Obs = cfg.Instr
+	x.registerGauges()
 
 	reg := event.NewRegistry()
 	relocate := event.ListenerFunc{ID: "state-relocation", Fn: func(e event.Event) error {
@@ -137,6 +143,36 @@ func New(cfg Config, out op.Emitter) (*XJoin, error) {
 		return nil, err
 	}
 	return x, nil
+}
+
+// registerGauges exposes XJoin's live metrics through the attached
+// sampler; gauges run on the operator's own goroutine (see obs.Live).
+// XJoin never propagates punctuations, so there is no punct-lag gauge —
+// its absence IS the baseline's story.
+func (x *XJoin) registerGauges() {
+	lv := x.cfg.Instr.Live()
+	if lv == nil {
+		return
+	}
+	name := x.cfg.Instr.Op()
+	if name == "" {
+		name = x.Name()
+	}
+	lv.Register(name+".mem_bytes.a", func() float64 { return float64(x.base.States[0].MemBytes()) })
+	lv.Register(name+".mem_bytes.b", func() float64 { return float64(x.base.States[1].MemBytes()) })
+	lv.Register(name+".disk_bytes", func() float64 {
+		a, b := x.StateStats()
+		return float64(a.DiskBytes + b.DiskBytes)
+	})
+	lv.Register(name+".state_tuples", func() float64 { return float64(x.StateTuples()) })
+	lv.Register(name+".bucket_skew", func() float64 {
+		sk := x.base.States[0].MemBucketSkew()
+		if s1 := x.base.States[1].MemBucketSkew(); s1 > sk {
+			sk = s1
+		}
+		return sk
+	})
+	lv.Register(name+".tuples_out", func() float64 { return float64(x.base.M.TuplesOut) })
 }
 
 // Name implements op.Operator.
@@ -172,15 +208,19 @@ func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
 		return fmt.Errorf("xjoin: Process after Finish")
 	}
 	x.now = max(x.now, now)
+	x.base.Obs.Tick(x.now)
 	switch it.Kind {
 	case stream.KindTuple:
 		x.base.M.TuplesIn[port]++
+		x.base.Obs.Event(obs.KindTupleIn, it.Tuple.Ts, port, 0, 0)
 		if err := x.mon.TupleArrived(it.Tuple.Ts); err != nil {
 			return err
 		}
-		if _, err := x.base.ProbeOpposite(port, it.Tuple); err != nil {
+		matches, err := x.base.ProbeOpposite(port, it.Tuple)
+		if err != nil {
 			return err
 		}
+		x.base.Obs.Event(obs.KindProbe, it.Tuple.Ts, port, int64(matches), 0)
 		if _, err := x.base.States[port].Insert(it.Tuple); err != nil {
 			return err
 		}
@@ -188,6 +228,7 @@ func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
 	case stream.KindPunct:
 		// No constraint-exploiting mechanism: punctuations are ignored.
 		x.base.M.PunctsIn[port]++
+		x.base.Obs.Event(obs.KindPunctIn, it.Ts, port, 0, 0)
 		return nil
 	case stream.KindEOS:
 		if x.eos[port] {
@@ -229,5 +270,8 @@ func (x *XJoin) Finish(now stream.Time) error {
 		}
 	}
 	x.finished = true
+	if lv := x.cfg.Instr.Live(); lv != nil {
+		lv.Flush(x.now) // final sample so the series ends at the run's last state
+	}
 	return x.out.Emit(stream.EOSItem(x.now))
 }
