@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench-alloc bench-scaling
+.PHONY: build test vet race check bench bench-alloc bench-scaling
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ race:
 	$(GO) test -race ./...
 
 check: build vet race
+
+# Performance summary for the key-grouped state index: store-level
+# probe micro-benchmarks plus every simulated experiment's ns/op,
+# allocs/op and work counters (Examined, PurgeScanned, TuplesOut) in
+# both the pre-index scan regime and the indexed regime. The JSON
+# artifact is committed so regressions show up in review.
+bench:
+	$(GO) run ./cmd/pjoinbench -bench3 BENCH_3.json
 
 # Hot-path allocation micro-benchmarks (probe/insert, punctuation
 # matching). Run with -benchmem semantics via b.ReportAllocs().

@@ -13,6 +13,8 @@
 //	pjoinbench -fig scale1 -shards 1,4,16   # ShardedPJoin scaling sweep
 //	pjoinbench -fig 5 -trace fig5.jsonl     # JSONL event trace of the run
 //	pjoinbench -fig 5 -live 10 -csv out.csv # sample live gauges every 10ms
+//	pjoinbench -bench3 BENCH_3.json         # perf summary: index micro-benches
+//	                                        # + per-experiment work counters
 package main
 
 import (
@@ -41,8 +43,29 @@ func main() {
 		shards = flag.String("shards", "", "comma-separated shard counts for the scaling experiments (e.g. 1,2,4,8)")
 		trace  = flag.String("trace", "", "write a JSONL operator event trace to this file")
 		liveMs = flag.Int64("live", 0, "sample live operator gauges every N virtual milliseconds (series go to -csv)")
+		bench3 = flag.String("bench3", "", "write the performance summary JSON (index micro-benchmarks + per-experiment work counters) to this file")
 	)
 	flag.Parse()
+
+	if *bench3 != "" {
+		rep, err := bench.RunBench3(*seed, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench3: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*bench3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench3: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench3)
+		return
+	}
 
 	shardCounts, err := parseShards(*shards)
 	if err != nil {

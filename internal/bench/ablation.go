@@ -37,7 +37,7 @@ func runAblDropFly(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +78,7 @@ func runAblIndex(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +112,7 @@ func runAblPurge(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +150,7 @@ func runAblCompact(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func runExtWindow(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}

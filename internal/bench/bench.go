@@ -13,6 +13,7 @@ import (
 
 	"pjoin/internal/core"
 	"pjoin/internal/gen"
+	"pjoin/internal/joinbase"
 	"pjoin/internal/metrics"
 	"pjoin/internal/obs"
 	"pjoin/internal/op"
@@ -39,6 +40,31 @@ type RunConfig struct {
 	// (pjoinbench -live). Operators register gauges under distinct names,
 	// so one sampler serves a whole experiment.
 	Live *obs.Live
+	// Indexed runs the joins with the key-grouped state index enabled.
+	// The default (false) keeps the paper-reproduction figures in the
+	// pre-index regime: probes and purge runs scan buckets and the cost
+	// model prices that scanning — the physics the paper's shapes
+	// (XJoin's declining rate, the purge sweet spot) are made of. The
+	// indexed runs produce the same TuplesOut with far less work
+	// examined; `pjoinbench -bench3` records both so the saving is
+	// visible per experiment. The wall-clock scaling experiments always
+	// use the indexed path.
+	Indexed bool
+	// Work, when set, collects each simulated operator's final metrics
+	// (pjoinbench -bench3).
+	Work *WorkLog
+}
+
+// WorkRow is one simulated operator run's final work counters.
+type WorkRow struct {
+	Op string
+	M  joinbase.Metrics
+}
+
+// WorkLog accumulates the WorkRows of one experiment run in simulate
+// order.
+type WorkLog struct {
+	Rows []WorkRow
 }
 
 // instr builds the observability handle for one operator instance; nil
@@ -163,6 +189,7 @@ func pjoinFor(rc RunConfig, name string, purge int, mutate func(*core.Config)) (
 	}
 	cfg.Thresholds.Purge = purge
 	cfg.DisablePropagation = true // most experiments measure join-only behaviour
+	cfg.DisableStateIndex = !rc.Indexed
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -173,18 +200,24 @@ func xjoinFor(rc RunConfig) (*xjoin.XJoin, error) {
 	return xjoin.New(xjoin.Config{
 		SchemaA: gen.SchemaA, SchemaB: gen.SchemaB,
 		AttrA: gen.KeyAttr, AttrB: gen.KeyAttr,
-		Instr: rc.instr("xjoin"),
+		Instr:             rc.instr("xjoin"),
+		DisableStateIndex: !rc.Indexed,
 	}, &op.Collector{})
 }
 
 // simulate runs the join over the workload with default costs and a
-// sampling rate that yields a readable chart.
-func simulate(j sim.MeteredJoin, arrs []gen.Arrival, horizon stream.Time) (*sim.Result, error) {
+// sampling rate that yields a readable chart, logging the operator's
+// final work counters when the run collects them (rc.Work).
+func (rc RunConfig) simulate(j sim.MeteredJoin, arrs []gen.Arrival, horizon stream.Time) (*sim.Result, error) {
 	sampleEvery := horizon / 60
 	if sampleEvery < stream.Millisecond {
 		sampleEvery = stream.Millisecond
 	}
-	return sim.Run(j, arrs, sim.Config{SampleEvery: sampleEvery})
+	res, err := sim.Run(j, arrs, sim.Config{SampleEvery: sampleEvery})
+	if err == nil && rc.Work != nil {
+		rc.Work.Rows = append(rc.Work.Rows, WorkRow{Op: j.Name(), M: res.Final})
+	}
+	return res, err
 }
 
 // stateSeries extracts the join-state-size-over-time series (the y axis

@@ -48,7 +48,7 @@ func runFig5(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	resP, err := simulate(pj, arrs, horizon)
+	resP, err := rc.simulate(pj, arrs, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +56,7 @@ func runFig5(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	resX, err := simulate(xj, arrs, horizon)
+	resX, err := rc.simulate(xj, arrs, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +94,7 @@ func runFig6(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func runFig7(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	resP, err := simulate(pj, arrs, horizon)
+	resP, err := rc.simulate(pj, arrs, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func runFig7(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	resX, err := simulate(xj, arrs, horizon)
+	resX, err := rc.simulate(xj, arrs, horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +180,7 @@ func runFig8(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +210,7 @@ func runFig9(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +244,7 @@ func runFig10(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +279,7 @@ func runFig11(rc RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := simulate(pj, arrs, horizon)
+		res, err := rc.simulate(pj, arrs, horizon)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +326,7 @@ func fig1213(rc RunConfig) (*Report, *Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := simulate(j, arrs, horizon)
+		res, err := rc.simulate(j, arrs, horizon)
 		if err != nil {
 			return err
 		}
@@ -387,7 +387,7 @@ func runFig14(rc RunConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := simulate(pj, arrs, horizon)
+	res, err := rc.simulate(pj, arrs, horizon)
 	if err != nil {
 		return nil, err
 	}

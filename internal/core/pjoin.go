@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
@@ -23,6 +24,7 @@ import (
 	"pjoin/internal/punct"
 	"pjoin/internal/store"
 	"pjoin/internal/stream"
+	"pjoin/internal/value"
 )
 
 // Config configures a PJoin instance.
@@ -78,6 +80,13 @@ type Config struct {
 	// the default behaviour of the paper's disk join; disable for
 	// ablation).
 	DisableDiskPurge bool
+	// DisableStateIndex reverts the join states to the pre-index
+	// behaviour: probes scan the whole bucket and purge runs
+	// predicate-scan every bucket against the full punctuation set (for
+	// equivalence regression tests and baseline benchmarks; the grouped
+	// layout is still maintained, only the probe/purge paths and their
+	// cost accounting change).
+	DisableStateIndex bool
 	// CompactSets periodically merges not-yet-indexed punctuations whose
 	// join-attribute patterns union into one pattern (e.g. runs of
 	// per-key constants become one range). This keeps the punctuation
@@ -137,6 +146,13 @@ type PJoin struct {
 	// must not propagate before then.
 	diskPending [2]map[punct.PID]bool
 
+	// purgeMark, per victim side: the largest pid of the opposite
+	// punctuation set already applied by a purge run. Valid only while
+	// drop-on-the-fly is active — it guarantees no tuple matching an
+	// already-applied punctuation re-enters the state, so later runs
+	// need only the entries above the mark (see purgeState).
+	purgeMark [2]punct.PID
+
 	obs *obs.Instr
 	// lastPropTs is the arrival timestamp of the newest punctuation whose
 	// propagation has been released downstream; PunctLag measures how far
@@ -190,6 +206,10 @@ func New(cfg Config, out op.Emitter) (*PJoin, error) {
 	stB, err := store.NewState(cfg.SchemaB.Name(), cfg.AttrB, cfg.NumBuckets, cfg.SpillB)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DisableStateIndex {
+		stA.SetScanFallback(true)
+		stB.SetScanFallback(true)
 	}
 
 	j := &PJoin{
@@ -246,6 +266,10 @@ func (j *PJoin) registerGauges() {
 			sk = s1
 		}
 		return sk
+	})
+	lv.Register(name+".mem_groups", func() float64 {
+		a, b := j.StateStats()
+		return float64(a.MemGroups + b.MemGroups)
 	})
 	lv.Register(name+".punct_lag_ms", func() float64 { return j.PunctLag().Millis() })
 	// Cumulative; the output rate is its metrics.Series.Rate.
@@ -497,6 +521,21 @@ func (j *PJoin) schema(s int) *stream.Schema {
 // removed. Tuples that may still owe left-over joins against the
 // opposite state's disk-resident portion go to the purge buffer instead
 // of being freed (§3.1); the disk join clears them.
+//
+// On the indexed path, punctuations whose join pattern is a constant or
+// an enumeration purge by direct key-group removal — cost O(tuples
+// removed), no non-matching group is touched — while range and wildcard
+// patterns fall back to an ordered scan of every bucket. With
+// drop-on-the-fly active the run is also incremental: after a run, no
+// state tuple matches any set entry (the run removed them and
+// drop-on-the-fly keeps later matching arrivals out — the entry stays
+// in the set as long as it is in force), so the next run only needs the
+// entries that arrived since (purgeMark). CompactSets preserves this:
+// Compact runs right after a purge run, when every entry — including
+// the ones it merges into an earlier pid — is already below the fresh
+// watermark. PurgeScanned counts work actually done: removed tuples on
+// the direct path, full occupancy on scans — the cost model prices what
+// the index saves.
 func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	j.base.M.PurgeRuns++
 	var removedRun, scannedRun int64
@@ -504,18 +543,14 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	st := j.base.States[victim]
 	opp := j.base.States[1-victim]
 	attr := j.attrs[victim]
-	for i := 0; i < st.NumBuckets(); i++ {
-		bucketLen := len(st.Bucket(i).Mem)
-		if bucketLen == 0 {
-			continue
-		}
-		j.base.M.PurgeScanned += int64(bucketLen)
-		scannedRun += int64(bucketLen)
-		removed := st.FilterMem(i, func(sd *store.StoredTuple) bool {
-			return pset.SetMatchAttr(j.attrs[1-victim], sd.T.Values[attr])
-		})
+	oppAttr := j.attrs[1-victim]
+
+	// finish completes the removal of one bucket's matching tuples,
+	// identically on every path: park them in the purge buffer when the
+	// opposite bucket still has disk-resident partners, else discard.
+	finish := func(i int, removed []*store.StoredTuple) {
 		if len(removed) == 0 {
-			continue
+			return
 		}
 		removedRun += int64(len(removed))
 		if opp.HasDisk(i) {
@@ -528,6 +563,92 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 			}
 			j.base.M.Purged += int64(len(removed))
 		}
+	}
+
+	if j.cfg.DisableStateIndex {
+		// Pre-index behaviour: predicate-scan every bucket against the
+		// full set; the scan examines each bucket's whole occupancy.
+		for i := 0; i < st.NumBuckets(); i++ {
+			bucketLen := st.Bucket(i).MemLen()
+			if bucketLen == 0 {
+				continue
+			}
+			j.base.M.PurgeScanned += int64(bucketLen)
+			scannedRun += int64(bucketLen)
+			finish(i, st.FilterMem(i, func(sd *store.StoredTuple) bool {
+				return pset.SetMatchAttr(oppAttr, sd.T.Values[attr])
+			}))
+		}
+		j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
+		return nil
+	}
+
+	after := punct.NoPID
+	if !j.cfg.DisableDropOnTheFly {
+		after = j.purgeMark[victim]
+	}
+	direct, scanEntries := pset.PurgePlan(oppAttr, after)
+
+	if len(direct) == 1 && len(scanEntries) == 0 {
+		// The dominant shape — one per-key constant punctuation under
+		// eager purge — stays allocation-light: one group removal.
+		bucket, removed := st.TakeKeyGroup(direct[0])
+		j.base.M.PurgeScanned += int64(len(removed))
+		scannedRun += int64(len(removed))
+		finish(bucket, removed)
+	} else if len(direct) > 0 || len(scanEntries) > 0 {
+		// General shape: collect all removals per bucket, restore each
+		// bucket's arrival order (groups come out key-contiguous), then
+		// finish buckets in ascending order — byte-for-byte the purge
+		// buffers the bucket-ordered scan would have produced.
+		removedBy := make(map[int][]*store.StoredTuple)
+		for _, v := range direct {
+			bucket, removed := st.TakeKeyGroup(v)
+			if len(removed) == 0 {
+				continue
+			}
+			j.base.M.PurgeScanned += int64(len(removed))
+			scannedRun += int64(len(removed))
+			removedBy[bucket] = append(removedBy[bucket], removed...)
+		}
+		if len(scanEntries) > 0 {
+			match := func(v value.Value) bool {
+				for _, e := range scanEntries {
+					if e.P.PatternAt(oppAttr).Matches(v) {
+						return true
+					}
+				}
+				return false
+			}
+			for i := 0; i < st.NumBuckets(); i++ {
+				bucketLen := st.Bucket(i).MemLen()
+				if bucketLen == 0 {
+					continue
+				}
+				j.base.M.PurgeScanned += int64(bucketLen)
+				scannedRun += int64(bucketLen)
+				removed := st.FilterMem(i, func(sd *store.StoredTuple) bool {
+					return match(sd.T.Values[attr])
+				})
+				if len(removed) > 0 {
+					removedBy[i] = append(removedBy[i], removed...)
+				}
+			}
+		}
+		buckets := make([]int, 0, len(removedBy))
+		for i := range removedBy {
+			buckets = append(buckets, i)
+		}
+		sort.Ints(buckets)
+		for _, i := range buckets {
+			removed := removedBy[i]
+			sort.Slice(removed, func(a, b int) bool { return removed[a].ATS() < removed[b].ATS() })
+			finish(i, removed)
+		}
+	}
+
+	if !j.cfg.DisableDropOnTheFly {
+		j.purgeMark[victim] = pset.MaxPID()
 	}
 	j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
 	return nil
@@ -558,24 +679,24 @@ func (j *PJoin) indexBuild(s int) {
 		return
 	}
 	st := j.base.States[s]
-	scan := func(tuples []*store.StoredTuple) {
-		for _, sd := range tuples {
-			j.base.M.IndexScanned++
-			if sd.PID != punct.NoPID {
-				continue
-			}
-			for _, e := range pending {
-				if e.P.Matches(sd.T.Values) {
-					sd.PID = e.PID
-					e.Count++
-					break
-				}
+	scanOne := func(sd *store.StoredTuple) {
+		j.base.M.IndexScanned++
+		if sd.PID != punct.NoPID {
+			return
+		}
+		for _, e := range pending {
+			if e.P.Matches(sd.T.Values) {
+				sd.PID = e.PID
+				e.Count++
+				break
 			}
 		}
 	}
 	for i := 0; i < st.NumBuckets(); i++ {
-		scan(st.Bucket(i).Mem)
-		scan(st.Bucket(i).PurgeBuf)
+		st.Bucket(i).ForEachMem(scanOne)
+		for _, sd := range st.Bucket(i).PurgeBuf {
+			scanOne(sd)
+		}
 	}
 	hasDisk := st.AnyDisk()
 	for _, e := range pending {
@@ -673,16 +794,16 @@ func (j *PJoin) relocate(now stream.Time) error {
 		if j.cfg.DisablePropagation {
 			return nil
 		}
-		for _, sd := range j.base.States[side].Bucket(bucket).Mem {
+		j.base.States[side].Bucket(bucket).ForEachMem(func(sd *store.StoredTuple) {
 			if sd.PID != punct.NoPID {
-				continue
+				return
 			}
 			j.base.M.IndexScanned++
 			if e := j.psets[side].FirstMatch(sd.T.Values); e != nil {
 				sd.PID = e.PID
 				e.Count++
 			}
-		}
+		})
 		return nil
 	})
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"pjoin/internal/op"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+// TestTargetedPurgeScansOnlyMatches pins the indexed purge's cost claim:
+// a constant punctuation resolves to one group removal, so PurgeScanned
+// grows by the number of tuples REMOVED, not by the bucket occupancy the
+// pre-index scan walked. Range punctuations still scan (the fallback the
+// cost model prices), and DisableStateIndex restores the old accounting
+// everywhere.
+func TestTargetedPurgeScansOnlyMatches(t *testing.T) {
+	build := func(disableIndex bool) *PJoin {
+		cfg := defaultConfig()
+		cfg.NumBuckets = 1 // every key in one bucket: scans cost full occupancy
+		cfg.Thresholds.Purge = 1
+		cfg.DisableStateIndex = disableIndex
+		j, err := New(cfg, &op.Collector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	fill := func(j *PJoin) stream.Time {
+		ts := stream.Time(0)
+		for k := int64(0); k < 10; k++ {
+			ts++
+			if err := j.Process(1, tupB(k, "b", ts).item, ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ts
+	}
+
+	j := build(false)
+	ts := fill(j)
+
+	// Constant punctuation from A for key 3: the B group is removed
+	// directly; the other nine tuples are not examined.
+	ts++
+	if err := j.Process(0, punctFor(0, 3, ts).item, ts); err != nil {
+		t.Fatal(err)
+	}
+	m := j.Metrics()
+	if m.Purged != 1 {
+		t.Fatalf("Purged = %d, want 1", m.Purged)
+	}
+	if m.PurgeScanned != 1 {
+		t.Errorf("PurgeScanned after constant punctuation = %d, want 1 (removed tuple only)", m.PurgeScanned)
+	}
+
+	// Range punctuation covering keys 5..7: no direct resolution, the
+	// purge scans the remaining 9-tuple bucket.
+	ts++
+	rng := feedItem{0, stream.PunctItem(punct.MustKeyOnly(2, 0, punct.MustRange(value.Int(5), value.Int(7))), ts)}
+	if err := j.Process(0, rng.item, ts); err != nil {
+		t.Fatal(err)
+	}
+	m = j.Metrics()
+	if m.Purged != 4 {
+		t.Fatalf("Purged = %d, want 4", m.Purged)
+	}
+	if got := m.PurgeScanned - 1; got != 9 {
+		t.Errorf("range punctuation scanned %d, want 9 (full occupancy)", got)
+	}
+
+	// The pre-index fallback pays occupancy even for the constant case.
+	j = build(true)
+	ts = fill(j)
+	ts++
+	if err := j.Process(0, punctFor(0, 3, ts).item, ts); err != nil {
+		t.Fatal(err)
+	}
+	m = j.Metrics()
+	if m.Purged != 1 {
+		t.Fatalf("fallback Purged = %d, want 1", m.Purged)
+	}
+	if m.PurgeScanned != 10 {
+		t.Errorf("fallback PurgeScanned = %d, want 10 (full scan)", m.PurgeScanned)
+	}
+}

@@ -282,10 +282,10 @@ func (b *Base) passBucket(i int, now stream.Time, hooks PassHooks) error {
 			}
 		}
 		disk[s] = d
-		all := make([]*store.StoredTuple, 0, len(d)+len(st.Bucket(i).Mem)+len(st.Bucket(i).PurgeBuf))
+		all := make([]*store.StoredTuple, 0, len(d)+st.Bucket(i).MemLen()+len(st.Bucket(i).PurgeBuf))
 		all = append(all, d...)
 		all = append(all, st.Bucket(i).PurgeBuf...)
-		all = append(all, st.Bucket(i).Mem...)
+		all = st.Bucket(i).AppendMem(all)
 		sides[s] = all
 	}
 

@@ -77,10 +77,10 @@ func TestRandomScheduleExactlyOnce(t *testing.T) {
 					side := rng.Intn(2)
 					st := b.States[side]
 					for bu := 0; bu < st.NumBuckets(); bu++ {
-						if len(st.Bucket(bu).Mem) == 0 {
+						if st.Bucket(bu).MemLen() == 0 {
 							continue
 						}
-						victim := st.Bucket(bu).Mem[0]
+						victim := st.Bucket(bu).AppendMem(nil)[0]
 						removed := st.FilterMem(bu, func(s *store.StoredTuple) bool { return s == victim })
 						ts++
 						st.AddToPurgeBuffer(bu, removed[0], ts)

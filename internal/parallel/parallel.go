@@ -226,6 +226,7 @@ func (j *ShardedPJoin) registerGauges() {
 		name = j.Name()
 	}
 	lv.Register(name+".state_tuples", func() float64 { return float64(j.StateTuples()) })
+	lv.Register(name+".mem_groups", func() float64 { return float64(j.MemGroups()) })
 	lv.Register(name+".route_skew", func() float64 { return Skew(j.ShardStats()) })
 	lv.Register(name+".pending_puncts", func() float64 { return float64(j.PendingPunctuations()) })
 	lv.Register(name+".tuples_out", func() float64 { return float64(j.Metrics().TuplesOut) })
@@ -449,6 +450,19 @@ func (j *ShardedPJoin) StateTuples() int {
 		sh.mu.Lock()
 		total += sh.pj.StateTuples()
 		sh.mu.Unlock()
+	}
+	return total
+}
+
+// MemGroups returns the number of distinct join keys resident in memory
+// across all shard states (both sides).
+func (j *ShardedPJoin) MemGroups() int {
+	total := 0
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		a, b := sh.pj.StateStats()
+		sh.mu.Unlock()
+		total += a.MemGroups + b.MemGroups
 	}
 	return total
 }

@@ -2,6 +2,7 @@ package punct
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"pjoin/internal/value"
@@ -284,6 +285,42 @@ func (s *Set) FirstMatch(attrs []value.Value) *Entry {
 		}
 	}
 	return nil
+}
+
+// MaxPID returns the largest pid assigned so far (NoPID if the set has
+// never held an entry). PIDs are assigned in arrival order, so together
+// with PurgePlan's `after` parameter this supports incremental purge
+// watermarks.
+func (s *Set) MaxPID() PID { return s.next - 1 }
+
+// PurgePlan partitions the entries usable for purging on attribute attr
+// — those exhaustive on attr (see SetMatchAttr) — into values that can
+// be purged by direct key-group lookup (Constant patterns and
+// Enumeration members) and entries that require a state scan (Range and
+// Wildcard patterns). Entries with PID <= after are skipped: a caller
+// that knows the state holds no tuple matching them (e.g. because a
+// previous purge run removed them and drop-on-the-fly has kept matching
+// arrivals out since) passes its watermark to plan only the new
+// punctuations. Pass NoPID to plan over the whole set. Entries are
+// PID-sorted, so the plan costs O(log n + new entries).
+func (s *Set) PurgePlan(attr int, after PID) (direct []value.Value, scan []*Entry) {
+	start := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].PID > after })
+	for _, e := range s.entries[start:] {
+		if !exhaustiveOn(e.P, attr) {
+			continue
+		}
+		switch p := e.P.PatternAt(attr); p.Kind() {
+		case Constant:
+			direct = append(direct, p.ConstVal())
+		case Enum:
+			direct = append(direct, p.Members()...)
+		case Empty:
+			// Matches nothing; no purge power.
+		default: // Range, Wildcard
+			scan = append(scan, e)
+		}
+	}
+	return direct, scan
 }
 
 // Unindexed returns the entries not yet processed by index build, in

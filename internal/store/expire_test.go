@@ -81,8 +81,9 @@ func TestExpireMemPrefixStopsAtFirstValid(t *testing.T) {
 		t.Fatalf("expired %d, want 2", len(expired))
 	}
 	b := st.Bucket(0)
-	if len(b.Mem) != 1 || b.Mem[0].T.Ts != 30 {
-		t.Errorf("remaining = %v", b.Mem)
+	rest := b.AppendMem(nil)
+	if len(rest) != 1 || rest[0].T.Ts != 30 {
+		t.Errorf("remaining = %v", rest)
 	}
 }
 

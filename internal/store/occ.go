@@ -1,0 +1,95 @@
+package store
+
+// occTracker maintains per-bucket memory occupancy incrementally so the
+// spill-victim and skew queries need no O(nbuckets) scan. Buckets with
+// equal non-zero counts form intrusive doubly-linked lists indexed by
+// count (heads); max tracks the largest occupancy and walks down lazily
+// when its list drains — each downward step is paid for by an earlier
+// increment, so updates are amortised O(1).
+type occTracker struct {
+	count      []int
+	prev, next []int
+	heads      map[int]int
+	max        int
+}
+
+func newOccTracker(nbuckets int) occTracker {
+	o := occTracker{
+		count: make([]int, nbuckets),
+		prev:  make([]int, nbuckets),
+		next:  make([]int, nbuckets),
+		heads: make(map[int]int),
+	}
+	for i := range o.prev {
+		o.prev[i], o.next[i] = -1, -1
+	}
+	return o
+}
+
+// set moves bucket b to occupancy n.
+func (o *occTracker) set(b, n int) {
+	old := o.count[b]
+	if old == n {
+		return
+	}
+	if old > 0 {
+		o.unlinkFrom(b, old)
+	}
+	o.count[b] = n
+	if n > 0 {
+		// Push at head; list order within one count is irrelevant
+		// (largest() resolves ties by bucket index).
+		if h, ok := o.heads[n]; ok {
+			o.prev[h] = b
+			o.next[b] = h
+		} else {
+			o.next[b] = -1
+		}
+		o.prev[b] = -1
+		o.heads[n] = b
+	}
+	if n > o.max {
+		o.max = n
+	}
+	for o.max > 0 {
+		if _, ok := o.heads[o.max]; ok {
+			break
+		}
+		o.max--
+	}
+}
+
+// add shifts bucket b's occupancy by d.
+func (o *occTracker) add(b, d int) { o.set(b, o.count[b]+d) }
+
+func (o *occTracker) unlinkFrom(b, c int) {
+	p, n := o.prev[b], o.next[b]
+	if p >= 0 {
+		o.next[p] = n
+	} else if n >= 0 {
+		o.heads[c] = n
+	} else {
+		delete(o.heads, c)
+	}
+	if n >= 0 {
+		o.prev[n] = p
+	}
+	o.prev[b], o.next[b] = -1, -1
+}
+
+// largest returns the lowest-indexed bucket among those with maximal
+// non-zero occupancy, or -1 when every bucket is empty — exactly the
+// victim the previous full scan picked. The walk touches only the tied
+// buckets; outside pathological uniform states that is O(1).
+func (o *occTracker) largest() int {
+	if o.max == 0 {
+		return -1
+	}
+	best := -1
+	for b := o.heads[o.max]; b >= 0; b = o.next[b] {
+		if best < 0 || b < best {
+			best = b
+		}
+	}
+	return best
+}

@@ -40,21 +40,46 @@ func (s *StoredTuple) Overlaps(o *StoredTuple) bool {
 	return s.ATS() < o.DTS && o.ATS() < s.DTS
 }
 
-// Bucket is one hash bucket of a State: a memory-resident portion, a
-// purge buffer (tuples purged by punctuations that may still owe
-// left-over joins against the opposite state's disk portion, §3.1), and
-// accounting for the on-disk portion.
+// Bucket is one hash bucket of a State: a key-grouped memory-resident
+// portion (see memindex.go), a purge buffer (tuples purged by
+// punctuations that may still owe left-over joins against the opposite
+// state's disk portion, §3.1), and accounting for the on-disk portion.
 type Bucket struct {
-	Mem        []*StoredTuple
+	mem        memIndex
 	PurgeBuf   []*StoredTuple
 	DiskTuples int
 	DiskBytes  int64
+}
+
+// MemLen returns the number of memory-resident tuples in the bucket.
+func (b *Bucket) MemLen() int { return b.mem.ntuples }
+
+// MemGroups returns the number of distinct join keys resident in the
+// bucket.
+func (b *Bucket) MemGroups() int { return b.mem.ngroups }
+
+// ForEachMem calls fn for every memory-resident tuple in arrival order.
+// fn must not mutate the state.
+func (b *Bucket) ForEachMem(fn func(*StoredTuple)) {
+	for n := b.mem.ahead; n != nil; n = n.anext {
+		fn(n.s)
+	}
+}
+
+// AppendMem appends the memory-resident tuples to dst in arrival order
+// and returns the extended slice.
+func (b *Bucket) AppendMem(dst []*StoredTuple) []*StoredTuple {
+	for n := b.mem.ahead; n != nil; n = n.anext {
+		dst = append(dst, n.s)
+	}
+	return dst
 }
 
 // Stats summarises a State's size. TotalTuples is the paper's "number of
 // tuples in the join state" metric (memory + purge buffer + disk).
 type Stats struct {
 	MemTuples   int
+	MemGroups   int // distinct join keys in the memory portion
 	PurgeTuples int
 	DiskTuples  int
 	MemBytes    int64
@@ -65,14 +90,25 @@ type Stats struct {
 func (s Stats) TotalTuples() int { return s.MemTuples + s.PurgeTuples + s.DiskTuples }
 
 // State is the join state for one input stream: a hash table over the
-// join attribute. All mutation goes through State methods so the size
-// accounting stays consistent.
+// join attribute whose buckets group their tuples by key (memindex.go).
+// All mutation goes through State methods so the size accounting and the
+// occupancy tracker stay consistent.
 type State struct {
 	name  string
 	attr  int
 	spill SpillStore
 	bkts  []Bucket
 	stats Stats
+
+	al   alloc
+	occ  occTracker
+	hash func(value.Value) uint64
+
+	// scanProbe selects the pre-index fallback: probes walk the whole
+	// bucket (examined = occupancy) instead of resolving the key's group.
+	// The group index is still maintained; only the probe path and its
+	// cost accounting revert. See SetScanFallback.
+	scanProbe bool
 }
 
 // NewState creates a state named name (used in errors) hashing on
@@ -87,7 +123,27 @@ func NewState(name string, attr, nbuckets int, spill SpillStore) (*State, error)
 	if spill == nil {
 		return nil, fmt.Errorf("store: state %s: nil spill store", name)
 	}
-	return &State{name: name, attr: attr, spill: spill, bkts: make([]Bucket, nbuckets)}, nil
+	return &State{
+		name: name, attr: attr, spill: spill,
+		bkts: make([]Bucket, nbuckets),
+		occ:  newOccTracker(nbuckets),
+		hash: value.Value.Hash,
+	}, nil
+}
+
+// SetScanFallback switches probing to the pre-index full-bucket scan
+// (true) or back to the group index (false). It exists so the indexed
+// path can be compared against the old behaviour (equivalence tests,
+// baseline benchmarks) without keeping two states of code.
+func (st *State) SetScanFallback(on bool) { st.scanProbe = on }
+
+// SetHashFuncForTest replaces the value-hash function, so tests can force
+// full-hash collisions through the group index. The state must be empty.
+func (st *State) SetHashFuncForTest(fn func(value.Value) uint64) {
+	if st.stats.TotalTuples() != 0 {
+		panic("store: SetHashFuncForTest on non-empty state")
+	}
+	st.hash = fn
 }
 
 // Name returns the state's stream name.
@@ -111,99 +167,137 @@ func (st *State) Key(t *stream.Tuple) value.Value { return t.Values[st.attr] }
 
 // BucketOf returns the bucket index for a join value.
 func (st *State) BucketOf(key value.Value) int {
-	return int(key.Hash() % uint64(len(st.bkts)))
+	return int(st.hash(key) % uint64(len(st.bkts)))
 }
 
 // Insert adds a new arrival to the memory-resident portion of its bucket
-// and returns the stored wrapper.
+// and returns the stored wrapper. The wrapper comes from a slab (one
+// allocation per storedChunk inserts) and its index node from a free
+// list, so steady-state insertion allocates far less than one object per
+// tuple.
 func (st *State) Insert(t *stream.Tuple) (*StoredTuple, error) {
 	if len(t.Values) <= st.attr {
 		return nil, fmt.Errorf("store: state %s: tuple width %d lacks join attribute %d", st.name, len(t.Values), st.attr)
 	}
-	s := &StoredTuple{T: t, PID: punct.NoPID, DTS: InMemory}
-	b := &st.bkts[st.BucketOf(st.Key(t))]
-	b.Mem = append(b.Mem, s)
+	key := t.Values[st.attr]
+	h := st.hash(key)
+	i := int(h % uint64(len(st.bkts)))
+	s := st.al.newStored(t)
+	if st.bkts[i].mem.insert(&st.al, key, h, s) {
+		st.stats.MemGroups++
+	}
+	st.occ.add(i, 1)
 	st.stats.MemTuples++
 	st.stats.MemBytes += int64(t.EncodedSize())
 	return s, nil
 }
 
 // ProbeMem appends to dst the memory-resident tuples whose join attribute
-// equals key, in arrival order, and returns the extended slice. The
-// number of tuples *examined* (bucket occupancy) is returned too, for
-// cost accounting: probing walks the whole bucket.
+// equals key, in arrival order, and returns the extended slice along
+// with the number of tuples *examined*, for cost accounting. On the
+// indexed path the probe resolves the key's group directly, so examined
+// equals the number of matches (O(matches)); on the scan fallback the
+// whole bucket is walked and examined is its occupancy, like the
+// pre-index implementation.
 func (st *State) ProbeMem(key value.Value, dst []*StoredTuple) (matches []*StoredTuple, examined int) {
-	b := &st.bkts[st.BucketOf(key)]
-	for _, s := range b.Mem {
-		if st.Key(s.T).Equal(key) {
-			dst = append(dst, s)
+	h := st.hash(key)
+	b := &st.bkts[h%uint64(len(st.bkts))]
+	if st.scanProbe {
+		for n := b.mem.ahead; n != nil; n = n.anext {
+			if st.Key(n.s.T).Equal(key) {
+				dst = append(dst, n.s)
+			}
 		}
+		return dst, b.mem.ntuples
 	}
-	return dst, len(b.Mem)
+	g := b.mem.lookup(key, h)
+	if g == nil {
+		return dst, 0
+	}
+	for n := g.head; n != nil; n = n.gnext {
+		dst = append(dst, n.s)
+	}
+	return dst, g.n
 }
 
 // MemBytes returns the in-memory byte accounting (mem portion only; the
 // purge buffer is counted separately since it is about to leave).
 func (st *State) MemBytes() int64 { return st.stats.MemBytes }
 
+// removeAccounting updates the size counters for one tuple leaving
+// bucket i's memory portion.
+func (st *State) removeAccounting(i int, s *StoredTuple, groupGone bool) {
+	st.stats.MemTuples--
+	st.stats.MemBytes -= int64(s.T.EncodedSize())
+	st.occ.add(i, -1)
+	if groupGone {
+		st.stats.MemGroups--
+	}
+}
+
 // FilterMem removes from bucket i's memory portion every tuple for which
-// drop returns true and returns the removed tuples. Accounting is
-// updated; the caller handles pid-count bookkeeping and purge-buffer
-// placement of the removed tuples.
+// drop returns true (evaluated in arrival order) and returns the removed
+// tuples. Accounting is updated; the caller handles pid-count bookkeeping
+// and purge-buffer placement of the removed tuples.
 func (st *State) FilterMem(i int, drop func(*StoredTuple) bool) []*StoredTuple {
 	b := &st.bkts[i]
 	var removed []*StoredTuple
-	kept := b.Mem[:0]
-	for _, s := range b.Mem {
-		if drop(s) {
-			removed = append(removed, s)
-			st.stats.MemTuples--
-			st.stats.MemBytes -= int64(s.T.EncodedSize())
-		} else {
-			kept = append(kept, s)
+	for n := b.mem.ahead; n != nil; {
+		next := n.anext
+		if drop(n.s) {
+			removed = append(removed, n.s)
+			st.removeAccounting(i, n.s, b.mem.unlink(&st.al, n))
+			st.al.freeNode(n)
 		}
+		n = next
 	}
-	// Zero the tail so dropped tuples are collectable.
-	for j := len(kept); j < len(b.Mem); j++ {
-		b.Mem[j] = nil
-	}
-	b.Mem = kept
 	return removed
 }
 
+// TakeKeyGroup removes and returns the entire memory-resident group of
+// the given join value (in arrival order) together with its bucket
+// index. This is the O(matches) purge path for constant and enumeration
+// punctuation patterns: no other group is touched.
+func (st *State) TakeKeyGroup(key value.Value) (bucket int, removed []*StoredTuple) {
+	h := st.hash(key)
+	bucket = int(h % uint64(len(st.bkts)))
+	b := &st.bkts[bucket]
+	removed = b.mem.takeGroup(&st.al, key, h)
+	if len(removed) == 0 {
+		return bucket, nil
+	}
+	st.stats.MemTuples -= len(removed)
+	st.stats.MemGroups--
+	for _, s := range removed {
+		st.stats.MemBytes -= int64(s.T.EncodedSize())
+	}
+	st.occ.add(bucket, -len(removed))
+	return bucket, removed
+}
+
 // ExpireMemPrefix removes and returns the leading memory-resident tuples
-// of bucket i whose arrival timestamp is before cutoff. Because the
-// memory portion is kept in arrival order, expired tuples form a prefix
-// and the scan stops at the first still-valid tuple — the sliding-window
-// invalidation optimisation of the paper's §6.
+// of bucket i whose arrival timestamp is before cutoff. The arrival list
+// is threaded across the key groups in arrival order, so expired tuples
+// form a prefix, the scan stops at the first still-valid tuple — the
+// sliding-window invalidation optimisation of the paper's §6 — and each
+// expired node is its group's head (group chains are suborders of the
+// arrival list), keeping every unlink O(1).
 func (st *State) ExpireMemPrefix(i int, cutoff stream.Time) []*StoredTuple {
 	b := &st.bkts[i]
-	n := 0
-	for n < len(b.Mem) && b.Mem[n].T.Ts < cutoff {
-		n++
-	}
-	if n == 0 {
-		return nil
-	}
-	expired := make([]*StoredTuple, n)
-	copy(expired, b.Mem[:n])
-	rest := b.Mem[n:]
-	// Shift in place so the backing array doesn't pin expired tuples.
-	copy(b.Mem, rest)
-	for j := len(rest); j < len(b.Mem); j++ {
-		b.Mem[j] = nil
-	}
-	b.Mem = b.Mem[:len(rest)]
-	st.stats.MemTuples -= n
-	for _, s := range expired {
-		st.stats.MemBytes -= int64(s.T.EncodedSize())
+	var expired []*StoredTuple
+	for n := b.mem.ahead; n != nil && n.s.T.Ts < cutoff; {
+		next := n.anext
+		expired = append(expired, n.s)
+		st.removeAccounting(i, n.s, b.mem.unlink(&st.al, n))
+		st.al.freeNode(n)
+		n = next
 	}
 	return expired
 }
 
 // AddToPurgeBuffer stamps the tuple's departure time and parks it in
 // bucket i's purge buffer. The tuple must already have been removed from
-// the memory portion (via FilterMem).
+// the memory portion (via FilterMem or TakeKeyGroup).
 func (st *State) AddToPurgeBuffer(i int, s *StoredTuple, now stream.Time) {
 	s.DTS = now
 	st.bkts[i].PurgeBuf = append(st.bkts[i].PurgeBuf, s)
@@ -221,47 +315,43 @@ func (st *State) TakePurgeBuffer(i int) []*StoredTuple {
 	return out
 }
 
-// SpillBucket relocates bucket i's entire memory portion to disk,
-// stamping each tuple's DTS with now (paper §3.3, following XJoin's
-// memory-overflow resolution). It returns the number of tuples moved.
+// SpillBucket relocates bucket i's entire memory portion to disk in
+// arrival order, stamping each tuple's DTS with now (paper §3.3,
+// following XJoin's memory-overflow resolution). It returns the number
+// of tuples moved.
 func (st *State) SpillBucket(i int, now stream.Time) (int, error) {
 	b := &st.bkts[i]
-	if len(b.Mem) == 0 {
+	n := b.mem.ntuples
+	if n == 0 {
 		return 0, nil
 	}
 	var buf []byte
-	for _, s := range b.Mem {
-		s.DTS = now
-		buf = appendStored(buf, s)
+	for nd := b.mem.ahead; nd != nil; nd = nd.anext {
+		nd.s.DTS = now
+		buf = appendStored(buf, nd.s)
 	}
 	if err := st.spill.Append(i, buf); err != nil {
 		return 0, fmt.Errorf("store: state %s: spill bucket %d: %w", st.name, i, err)
 	}
-	n := len(b.Mem)
 	b.DiskTuples += n
 	b.DiskBytes += int64(len(buf))
 	st.stats.DiskTuples += n
 	st.stats.DiskBytes += int64(len(buf))
 	st.stats.MemTuples -= n
-	for _, s := range b.Mem {
-		st.stats.MemBytes -= int64(s.T.EncodedSize())
+	st.stats.MemGroups -= b.mem.ngroups
+	for nd := b.mem.ahead; nd != nil; nd = nd.anext {
+		st.stats.MemBytes -= int64(nd.s.T.EncodedSize())
 	}
-	b.Mem = nil
+	b.mem.reset(&st.al)
+	st.occ.set(i, 0)
 	return n, nil
 }
 
 // LargestMemBucket returns the index of the bucket with the most
 // memory-resident tuples (the spill victim XJoin picks), or -1 if the
-// whole memory portion is empty.
-func (st *State) LargestMemBucket() int {
-	best, bestN := -1, 0
-	for i := range st.bkts {
-		if n := len(st.bkts[i].Mem); n > bestN {
-			best, bestN = i, n
-		}
-	}
-	return best
-}
+// whole memory portion is empty. The occupancy tracker answers without
+// scanning the bucket array.
+func (st *State) LargestMemBucket() int { return st.occ.largest() }
 
 // ReadDisk decodes and returns bucket i's on-disk portion in spill order.
 func (st *State) ReadDisk(i int) ([]*StoredTuple, error) {
@@ -323,19 +413,13 @@ func (st *State) RewriteDisk(i int, tuples []*StoredTuple) error {
 // bucket's memory-resident tuple count to the mean over all buckets
 // (1.0 = perfectly uniform, higher = more skewed). Returns 0 for an
 // empty memory portion. This is the bucket-occupancy gauge the
-// observability layer samples.
+// observability layer samples; the tracked maximum makes it O(1).
 func (st *State) MemBucketSkew() float64 {
 	if st.stats.MemTuples == 0 {
 		return 0
 	}
-	maxN := 0
-	for i := range st.bkts {
-		if n := len(st.bkts[i].Mem); n > maxN {
-			maxN = n
-		}
-	}
 	mean := float64(st.stats.MemTuples) / float64(len(st.bkts))
-	return float64(maxN) / mean
+	return float64(st.occ.max) / mean
 }
 
 // HasDisk reports whether bucket i has a non-empty on-disk portion.

@@ -86,8 +86,20 @@ func TestProbeMissesOtherKeys(t *testing.T) {
 	if len(matches) != 1 {
 		t.Errorf("hash collision leaked wrong keys: %d matches", len(matches))
 	}
+	// Indexed probing resolves the key's group: only the match examined.
+	if examined != 1 {
+		t.Errorf("examined = %d, want 1 (the matching group)", examined)
+	}
+
+	// The scan fallback restores the pre-index accounting: the probe
+	// walks the whole bucket.
+	st.SetScanFallback(true)
+	matches, examined = st.ProbeMem(value.Int(1), nil)
+	if len(matches) != 1 {
+		t.Errorf("scan fallback: %d matches", len(matches))
+	}
 	if examined != 2 {
-		t.Errorf("examined = %d, want full bucket 2", examined)
+		t.Errorf("scan fallback examined = %d, want full bucket 2", examined)
 	}
 }
 

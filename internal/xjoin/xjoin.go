@@ -42,6 +42,12 @@ type Config struct {
 	// DiskJoinIdle is the reactive disk-join activation threshold: how
 	// long the inputs must stall before a background disk pass runs.
 	DiskJoinIdle stream.Time
+	// DisableStateIndex reverts the join states to the pre-index probe
+	// behaviour (full-bucket scans, examined = occupancy). The paper-
+	// reproduction experiments run in this mode so the simulator prices
+	// the scan-based physics the paper's figures exhibit; see
+	// core.Config.DisableStateIndex.
+	DisableStateIndex bool
 	// Instr is the observability handle (tracing + live metrics); nil
 	// disables observability (see internal/obs).
 	Instr *obs.Instr
@@ -105,6 +111,10 @@ func New(cfg Config, out op.Emitter) (*XJoin, error) {
 	stB, err := store.NewState(cfg.SchemaB.Name(), cfg.AttrB, cfg.NumBuckets, cfg.SpillB)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DisableStateIndex {
+		stA.SetScanFallback(true)
+		stB.SetScanFallback(true)
 	}
 	x := &XJoin{cfg: cfg, out: out, attrs: [2]int{cfg.AttrA, cfg.AttrB}, outSc: outSc}
 	x.base, err = joinbase.New(stA, stB, outSc, func(t *stream.Tuple) error {
@@ -171,6 +181,10 @@ func (x *XJoin) registerGauges() {
 			sk = s1
 		}
 		return sk
+	})
+	lv.Register(name+".mem_groups", func() float64 {
+		a, b := x.StateStats()
+		return float64(a.MemGroups + b.MemGroups)
 	})
 	lv.Register(name+".tuples_out", func() float64 { return float64(x.base.M.TuplesOut) })
 }
