@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-alloc bench-scaling
+.PHONY: build test vet race check bench bench-alloc bench-scaling flight-sample
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,23 @@ race:
 
 check: build vet race
 
-# Performance summary for the key-grouped state index: store-level
-# probe micro-benchmarks plus every simulated experiment's ns/op,
-# allocs/op and work counters (Examined, PurgeScanned, TuplesOut) in
-# both the pre-index scan regime and the indexed regime. The JSON
-# artifact is committed so regressions show up in review.
+# Performance summaries. BENCH_3.json: store-level probe
+# micro-benchmarks plus every simulated experiment's ns/op, allocs/op
+# and work counters (Examined, PurgeScanned, TuplesOut) in both the
+# pre-index scan regime and the indexed regime. BENCH_4.json: the
+# latency sweep — result-latency and punctuation-propagation-delay
+# quantiles (p50/p95/p99/max) across punctuation inter-arrival rates in
+# both regimes. The JSON artifacts are committed so regressions show up
+# in review.
 bench:
 	$(GO) run ./cmd/pjoinbench -bench3 BENCH_3.json
+	$(GO) run ./cmd/pjoinbench -bench4 BENCH_4.json
+
+# Fault-injection flight-recorder sample: wedge a join on a failing
+# spill device, let the lag SLO fire, dump the last trace events +
+# histogram snapshots.
+flight-sample:
+	$(GO) run ./cmd/pjoinbench -flight-sample flight-sample.jsonl.gz
 
 # Hot-path allocation micro-benchmarks (probe/insert, punctuation
 # matching). Run with -benchmem semantics via b.ReportAllocs().

@@ -8,7 +8,9 @@
 //	auctiond                       # 100 items, as fast as possible
 //	auctiond -items 500 -paced    # honour the workload's timestamps
 //	auctiond -purge 10            # lazy purge with threshold 10
-//	auctiond -paced -http :6060   # expvar gauges + pprof while running
+//	auctiond -paced -http :6060   # expvar gauges, pprof and /metrics
+//	auctiond -paced -http :6060 -lag-slo-ms 500 -stall-ms 2000 \
+//	         -flight flight.jsonl.gz   # health SLOs + flight recorder
 package main
 
 import (
@@ -26,9 +28,31 @@ import (
 	"pjoin/internal/exec"
 	"pjoin/internal/gen"
 	"pjoin/internal/obs"
+	"pjoin/internal/obs/health"
 	"pjoin/internal/op"
 	"pjoin/internal/stream"
 )
+
+// metricsHandler serves the join's latency histograms and live gauges
+// in Prometheus text exposition format (0.0.4). Latencies() snapshots
+// are atomic reads, and LastValues() is mutex-guarded, so scraping is
+// safe while the pipeline runs.
+func metricsHandler(join *core.PJoin, live *obs.Live) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		gauges := map[string]float64{}
+		if live != nil {
+			vals, at := live.LastValues()
+			for k, v := range vals {
+				gauges[k] = v
+			}
+			gauges["sampled_at_ms"] = at.Millis()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WriteProm(w, "pjoin", join.Latencies(), gauges); err != nil {
+			log.Printf("auctiond: /metrics: %v", err)
+		}
+	}
+}
 
 func main() {
 	var (
@@ -37,7 +61,10 @@ func main() {
 		paced    = flag.Bool("paced", false, "pace sources by workload timestamps (real time)")
 		purge    = flag.Int("purge", 1, "purge threshold (1 = eager)")
 		verbose  = flag.Bool("v", false, "print every group row")
-		httpAddr = flag.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address, e.g. :6060")
+		httpAddr = flag.String("http", "", "serve expvar (/debug/vars), pprof (/debug/pprof) and Prometheus /metrics on this address, e.g. :6060")
+		lagSLO   = flag.Int64("lag-slo-ms", 0, "fire the health detector when punctuation lag exceeds this many ms (0 disables)")
+		stallMs  = flag.Int64("stall-ms", 0, "fire the health detector when no output progress happens for this many ms while input flows (0 disables)")
+		flight   = flag.String("flight", "flight.jsonl.gz", "where a firing health detector dumps the flight record (.gz compresses)")
 	)
 	flag.Parse()
 
@@ -67,23 +94,29 @@ func main() {
 	fmt.Printf("auctiond: %d items, %d bids, %d punctuations, %.0f ms of stream time\n",
 		st.Tuples[0], st.Tuples[1], st.Puncts[0]+st.Puncts[1], st.Span.Millis())
 
-	// With -http, the join's live gauges are published through expvar:
-	// curl the endpoint mid-run (use -paced so the run lasts) to watch
-	// state size and punctuation lag move. Timestamps are the executor's
-	// wall-clock restamps, so a 10ms sampling tick is real time here.
+	healthOn := *lagSLO > 0 || *stallMs > 0
+
+	// With -http, the join's live gauges are published through expvar
+	// and /metrics: curl the endpoint mid-run (use -paced so the run
+	// lasts) to watch state size and punctuation lag move. Timestamps
+	// are the executor's wall-clock restamps, so a 10ms sampling tick is
+	// real time here. The health watcher polls the same gauges, so it
+	// needs the sampler even without -http.
 	var live *obs.Live
-	if *httpAddr != "" {
+	if *httpAddr != "" || healthOn {
 		live = obs.NewLive(10 * stream.Millisecond)
 		expvar.Publish("pjoin", expvar.Func(func() any {
 			vals, at := live.LastValues()
 			return map[string]any{"sampled_at_ms": at.Millis(), "gauges": vals}
 		}))
-		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
-				log.Printf("auctiond: http: %v", err)
-			}
-		}()
-		fmt.Printf("serving expvar and pprof on %s\n", *httpAddr)
+	}
+	// The flight ring keeps the last operator trace events for the dump;
+	// it only spends memory when the health detector can fire.
+	var ring *obs.Ring
+	var tracer obs.Tracer
+	if healthOn {
+		ring = obs.NewRing(256)
+		tracer = ring
 	}
 
 	p := exec.NewPipeline()
@@ -92,7 +125,7 @@ func main() {
 		SchemaA: gen.OpenSchema, SchemaB: gen.BidSchema,
 		AttrA: 0, AttrB: 0, OutName: "Out1",
 		VerifyPunctuations: true,
-		Instr:              obs.NewInstr(nil, live, "join"),
+		Instr:              obs.NewInstr(tracer, live, "join"),
 	}
 	cfg.Thresholds.Purge = *purge
 	cfg.Thresholds.PropagateCount = 1
@@ -115,7 +148,44 @@ func main() {
 	}
 	sink := p.Sink(grouped)
 
+	if *httpAddr != "" {
+		http.HandleFunc("/metrics", metricsHandler(join, live))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				log.Printf("auctiond: http: %v", err)
+			}
+		}()
+		fmt.Printf("serving expvar, pprof and /metrics on %s\n", *httpAddr)
+	}
+
 	start := time.Now()
+	if healthOn {
+		d := health.NewDetector(health.Config{
+			StallWindow: stream.Time(*stallMs) * stream.Millisecond,
+			LagSLO:      stream.Time(*lagSLO) * stream.Millisecond,
+		})
+		// The probe reads the sampler's last gauge values, never the
+		// operator itself: PJoin's counters belong to its own goroutine,
+		// the gauges are published through the mutex-guarded Live.
+		p.Watch(d, 50*time.Millisecond, func() health.Progress {
+			vals, _ := live.LastValues()
+			return health.Progress{
+				Now:       stream.Time(time.Since(start)),
+				TuplesIn:  int64(vals["join.tuples_in"]),
+				TuplesOut: int64(vals["join.tuples_out"]),
+				PunctsOut: int64(vals["join.puncts_out"]),
+				PunctLag:  stream.Time(vals["join.punct_lag_ms"] * float64(stream.Millisecond)),
+			}
+		}, func(r health.Report) {
+			log.Printf("auctiond: health: %s", r.String())
+			if err := health.DumpToFile(*flight, r, ring, join.Latencies()); err != nil {
+				log.Printf("auctiond: flight dump: %v", err)
+				return
+			}
+			log.Printf("auctiond: flight record written to %s", *flight)
+		})
+	}
+
 	if err := p.Run(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -15,6 +15,11 @@
 //	pjoinbench -fig 5 -live 10 -csv out.csv # sample live gauges every 10ms
 //	pjoinbench -bench3 BENCH_3.json         # perf summary: index micro-benches
 //	                                        # + per-experiment work counters
+//	pjoinbench -bench4 BENCH_4.json         # latency summary: result-latency and
+//	                                        # punct-delay quantiles per punct rate
+//	pjoinbench -flight-sample flight.jsonl.gz  # fault-injection flight dump
+//
+// Trace files with a .gz suffix are written gzip-compressed.
 package main
 
 import (
@@ -44,8 +49,41 @@ func main() {
 		trace  = flag.String("trace", "", "write a JSONL operator event trace to this file")
 		liveMs = flag.Int64("live", 0, "sample live operator gauges every N virtual milliseconds (series go to -csv)")
 		bench3 = flag.String("bench3", "", "write the performance summary JSON (index micro-benchmarks + per-experiment work counters) to this file")
+		bench4 = flag.String("bench4", "", "write the latency summary JSON (result-latency + punct-delay quantiles per punctuation rate) to this file")
+		flight = flag.String("flight-sample", "", "run the fault-injection flight-recorder scenario and write the dump to this file (.gz compresses)")
 	)
 	flag.Parse()
+
+	if *flight != "" {
+		out, err := bench.RunFlight(*flight)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: flight: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight dump: %s fired at %v (wedged at %v, %d events, %d punctuations propagated before the fault)\nwrote %s\n",
+			out.Report.Reason, out.Report.At, out.WedgedAt, out.RingEvents, out.PunctsOut, *flight)
+		return
+	}
+
+	if *bench4 != "" {
+		rep, err := bench.RunBench4(*seed, *quick, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench4: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*bench4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench4: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench4)
+		return
+	}
 
 	if *bench3 != "" {
 		rep, err := bench.RunBench3(*seed, os.Stderr)
@@ -88,7 +126,7 @@ func main() {
 	}
 	var tracer *obs.JSONL
 	if *trace != "" {
-		f, err := os.Create(*trace)
+		f, err := obs.CreateSink(*trace) // .gz paths get gzip compression
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

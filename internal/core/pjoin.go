@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
@@ -154,6 +155,12 @@ type PJoin struct {
 	purgeMark [2]punct.PID
 
 	obs *obs.Instr
+	// lat holds the operator's latency histograms: result latency (one
+	// sample per emitted result), punctuation propagation delay (one per
+	// propagated punctuation) and purge-pass duration (one per purge
+	// run). Always allocated — recording is lock-free atomic adds, cheap
+	// enough to stay on unconditionally (see internal/obs/hist).
+	lat *obs.Lat
 	// lastPropTs is the arrival timestamp of the newest punctuation whose
 	// propagation has been released downstream; PunctLag measures how far
 	// the inputs have run ahead of it.
@@ -220,8 +227,12 @@ func New(cfg Config, out op.Emitter) (*PJoin, error) {
 		diskPending: [2]map[punct.PID]bool{
 			make(map[punct.PID]bool), make(map[punct.PID]bool),
 		},
+		lat: obs.NewLat(),
 	}
 	j.base, err = joinbase.New(stA, stB, outSc, func(t *stream.Tuple) error {
+		// A result's timestamp is the max of its constituents' (Tuple.Join),
+		// so now − Ts is how long the older partner waited in state.
+		j.lat.RecordResult(j.now, t.Ts)
 		return out.Emit(stream.TupleItem(t))
 	})
 	if err != nil {
@@ -272,9 +283,21 @@ func (j *PJoin) registerGauges() {
 		return float64(a.MemGroups + b.MemGroups)
 	})
 	lv.Register(name+".punct_lag_ms", func() float64 { return j.PunctLag().Millis() })
-	// Cumulative; the output rate is its metrics.Series.Rate.
+	// Cumulative; the output rate is its metrics.Series.Rate. tuples_in
+	// and puncts_out are what the health detector's stall window watches
+	// (auctiond polls LastValues — it must not read Metrics() while the
+	// operator goroutine runs).
 	lv.Register(name+".tuples_out", func() float64 { return float64(j.base.M.TuplesOut) })
+	lv.Register(name+".tuples_in", func() float64 {
+		return float64(j.base.M.TuplesIn[0] + j.base.M.TuplesIn[1])
+	})
+	lv.Register(name+".puncts_out", func() float64 { return float64(j.base.M.PunctsOut) })
 }
+
+// Latencies returns a snapshot of the operator's latency histograms.
+// Safe to call from any goroutine while the operator runs (the
+// histograms are atomic; see internal/obs/hist).
+func (j *PJoin) Latencies() obs.LatSnapshot { return j.lat.Snapshot() }
 
 // PunctLag returns how far the inputs have run ahead of the newest
 // punctuation released downstream: newest input timestamp minus the
@@ -500,9 +523,11 @@ func (j *PJoin) processPunct(s int, p punct.Punctuation, ts stream.Time) error {
 		return fmt.Errorf("core: pjoin: punctuation %s has width %d, stream %d schema is %s",
 			p, p.Width(), s, j.schema(s))
 	}
-	if _, err := j.psets[s].Add(p); err != nil {
+	e, err := j.psets[s].Add(p)
+	if err != nil {
 		return err
 	}
+	e.ArrivedAt = int64(ts)
 	if j.cfg.EagerIndex && !j.cfg.DisablePropagation {
 		j.indexBuild(s)
 	}
@@ -538,6 +563,10 @@ func (j *PJoin) schema(s int) *stream.Schema {
 // the index saves.
 func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	j.base.M.PurgeRuns++
+	// Purge duration is wall clock: virtual time cannot advance inside
+	// one operator call. Recorded at both exits; no defer closure, to
+	// keep the eager-purge path allocation-light.
+	purgeStart := time.Now()
 	var removedRun, scannedRun int64
 	pset := j.psets[1-victim] // punctuations from the opposite stream
 	st := j.base.States[victim]
@@ -579,6 +608,7 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 				return pset.SetMatchAttr(oppAttr, sd.T.Values[attr])
 			}))
 		}
+		j.lat.RecordPurge(time.Since(purgeStart).Nanoseconds())
 		j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
 		return nil
 	}
@@ -650,6 +680,7 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	if !j.cfg.DisableDropOnTheFly {
 		j.purgeMark[victim] = pset.MaxPID()
 	}
+	j.lat.RecordPurge(time.Since(purgeStart).Nanoseconds())
 	j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
 	return nil
 }
@@ -747,6 +778,7 @@ func (j *PJoin) propagate(now stream.Time) error {
 			}
 			j.base.M.PunctsOut++
 			j.lastPropTs = maxTime(j.lastPropTs, now)
+			j.lat.RecordPunctDelay(now, stream.Time(e.ArrivedAt))
 			j.obs.Event(obs.KindPropagate, now, s, 0, 0)
 			if j.cfg.RetainPropagated {
 				e.Propagated = true
@@ -767,7 +799,15 @@ func (j *PJoin) propagate(now stream.Time) error {
 // punctuation look like a multi-column constraint and stop conservative
 // downstream operators such as group-by from exploiting it.)
 func (j *PJoin) outputPunctuation(s int, p punct.Punctuation) (punct.Punctuation, error) {
-	wa, wb := j.cfg.SchemaA.Width(), j.cfg.SchemaB.Width()
+	return OutputPunctuation(j.cfg.SchemaA, j.cfg.SchemaB, s, p)
+}
+
+// OutputPunctuation is the rewrite as a standalone function, shared with
+// the sharded join's router (internal/parallel), which must compute the
+// same output form to key its merge-alignment bookkeeping before the
+// shards propagate.
+func OutputPunctuation(schemaA, schemaB *stream.Schema, s int, p punct.Punctuation) (punct.Punctuation, error) {
+	wa, wb := schemaA.Width(), schemaB.Width()
 	pats := make([]punct.Pattern, wa+wb)
 	for i := range pats {
 		pats[i] = punct.Star()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"pjoin/internal/obs"
+	"pjoin/internal/obs/health"
 	"pjoin/internal/op"
 	"pjoin/internal/stream"
 )
@@ -51,7 +52,10 @@ type Pipeline struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	wg     sync.WaitGroup
-	start  time.Time
+	// watchers holds health-watcher goroutines (see Watch); they outlive
+	// the operator drain and are joined after cancellation in Run.
+	watchers sync.WaitGroup
+	start    time.Time
 
 	errOnce sync.Once
 	err     error
@@ -326,6 +330,44 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 	}()
 }
 
+// Watch polls probe on a wall-clock cadence and feeds the samples to
+// the stall detector d; the first sample that fires invokes onFire
+// (once — the detector is latched) on the watcher goroutine. probe must
+// be safe to call concurrently with the running operators: build it
+// from concurrent-safe surfaces such as obs.Live.LastValues or
+// parallel.ShardedPJoin.Metrics-style locked snapshots, not from a
+// single-goroutine method like core.PJoin.Metrics. The watcher stops
+// when the pipeline drains or is cancelled.
+func (p *Pipeline) Watch(d *health.Detector, every time.Duration, probe func() health.Progress, onFire func(health.Report)) {
+	if d == nil || probe == nil || every <= 0 {
+		return
+	}
+	p.launched = append(p.launched, func() {
+		// Watchers live on their own wait group: they run until the
+		// pipeline is done, so counting them in p.wg would deadlock Run
+		// (which waits for p.wg BEFORE cancelling the context).
+		p.watchers.Add(1)
+		go func() {
+			defer p.watchers.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if r, fired := d.Observe(probe()); fired {
+						if onFire != nil {
+							onFire(r)
+						}
+						return
+					}
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		}()
+	})
+}
+
 // Sink attaches a draining collector to an edge and returns it. The
 // collector's contents are complete once Run returns.
 func (p *Pipeline) Sink(in *Edge) *op.Collector {
@@ -376,5 +418,6 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		<-done
 	}
 	p.cancel(nil)
+	p.watchers.Wait()
 	return p.err
 }

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pjoin/internal/gen"
+	"pjoin/internal/obs/health"
+	"pjoin/internal/op"
+	"pjoin/internal/stream"
+)
+
+// TestWatchStopsWithPipeline is the lifecycle regression: a watcher
+// that never fires must not keep Run from returning once the operators
+// drain (watchers are joined AFTER the drain, not counted in it).
+func TestWatchStopsWithPipeline(t *testing.T) {
+	p := NewPipeline()
+	src, out := p.Edge(), p.Edge()
+	sel, err := op.NewSelect(gen.SchemaA, func(*stream.Tuple) bool { return true }, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SourceItems(src, items(t, 20), false)
+	if err := p.Spawn(sel, src); err != nil {
+		t.Fatal(err)
+	}
+	sink := p.Sink(out)
+
+	var probes atomic.Int64
+	d := health.NewDetector(health.Config{StallWindow: stream.Time(time.Hour)})
+	p.Watch(d, time.Millisecond, func() health.Progress {
+		n := probes.Add(1)
+		// Output keeps advancing: never a stall.
+		return health.Progress{Now: stream.Time(n), TuplesIn: n, TuplesOut: n}
+	}, func(health.Report) { t.Error("healthy pipeline fired the detector") })
+
+	done := make(chan error, 1)
+	go func() { done <- p.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return: watcher kept the pipeline alive")
+	}
+	if got := len(sink.Tuples()); got != 20 {
+		t.Errorf("tuples through = %d", got)
+	}
+	if d.Fired() {
+		t.Error("detector fired on a healthy pipeline")
+	}
+}
+
+// TestWatchFiresOnStall feeds the watcher fabricated progress samples
+// showing input flowing while output is stuck; the detector must fire
+// exactly once and deliver the report to onFire.
+func TestWatchFiresOnStall(t *testing.T) {
+	p := NewPipeline()
+	src, out := p.Edge(), p.Edge()
+	sel, err := op.NewSelect(gen.SchemaA, func(*stream.Tuple) bool { return true }, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A paced source parks the pipeline long enough for several probe
+	// ticks before the (instant) items flow.
+	its := items(t, 5)
+	for i := range its {
+		tu := *its[i].Tuple
+		tu.Ts = stream.Time(200+i) * stream.Millisecond
+		its[i] = stream.TupleItem(&tu)
+	}
+	p.SourceItems(src, its, true)
+	if err := p.Spawn(sel, src); err != nil {
+		t.Fatal(err)
+	}
+	p.Sink(out)
+
+	var (
+		mu      sync.Mutex
+		reports []health.Report
+		probes  atomic.Int64
+	)
+	d := health.NewDetector(health.Config{StallWindow: 3})
+	p.Watch(d, time.Millisecond, func() health.Progress {
+		n := probes.Add(1)
+		// Input advances, output frozen: a stall from the first sample.
+		return health.Progress{Now: stream.Time(n), TuplesIn: n, TuplesOut: 0}
+	}, func(r health.Report) {
+		mu.Lock()
+		reports = append(reports, r)
+		mu.Unlock()
+	})
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) != 1 {
+		t.Fatalf("onFire invoked %d times, want 1", len(reports))
+	}
+	if reports[0].Reason != "stall" {
+		t.Errorf("reason = %q, want stall", reports[0].Reason)
+	}
+	if !d.Fired() {
+		t.Error("detector not latched after firing")
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"pjoin/internal/obs/hist"
+	"pjoin/internal/stream"
+)
+
+// Lat bundles the three latency histograms every join operator keeps.
+// All values are nanoseconds; Result and PunctDelay are *virtual* time
+// (the stream clock the operator advances on arrivals), Purge is wall
+// clock (purge passes run inside one operator call, so virtual time
+// cannot advance across them).
+//
+// A nil *Lat is a valid "not measuring" handle: every method no-ops, so
+// operators record unconditionally and an un-instrumented run pays only
+// a nil check. Recording is allocation-free and lock-free (see
+// internal/obs/hist); snapshots may be taken from any goroutine while
+// the operator runs.
+type Lat struct {
+	// Result: tuple-arrival → result-emit latency. A result tuple's
+	// timestamp is the max of its inputs' timestamps (stream.Tuple.Join),
+	// so operator-now minus result-timestamp is exactly how long the
+	// older constituent waited in state before the match was emitted.
+	Result *hist.Hist
+	// PunctDelay: punctuation-arrival → downstream-propagation delay.
+	PunctDelay *hist.Hist
+	// Purge: wall-clock duration of one purge pass.
+	Purge *hist.Hist
+}
+
+// NewLat returns a Lat with all three histograms allocated.
+func NewLat() *Lat {
+	return &Lat{Result: hist.New(), PunctDelay: hist.New(), Purge: hist.New()}
+}
+
+// RecordResult records one emitted result's latency (now − result ts).
+func (l *Lat) RecordResult(now, ts stream.Time) {
+	if l == nil {
+		return
+	}
+	l.Result.Record(int64(now) - int64(ts))
+}
+
+// RecordPunctDelay records one propagated punctuation's delay
+// (now − arrival ts).
+func (l *Lat) RecordPunctDelay(now, arrived stream.Time) {
+	if l == nil {
+		return
+	}
+	l.PunctDelay.Record(int64(now) - int64(arrived))
+}
+
+// RecordPurge records one purge pass's wall-clock duration in ns.
+func (l *Lat) RecordPurge(ns int64) {
+	if l == nil {
+		return
+	}
+	l.Purge.Record(ns)
+}
+
+// LatSnapshot is a point-in-time copy of a Lat, safe to merge and
+// serialise. The zero value is empty and merge-ready.
+type LatSnapshot struct {
+	Result     hist.Snapshot
+	PunctDelay hist.Snapshot
+	Purge      hist.Snapshot
+}
+
+// Snapshot copies all three histograms. Nil-safe (returns an empty
+// snapshot).
+func (l *Lat) Snapshot() LatSnapshot {
+	if l == nil {
+		return LatSnapshot{}
+	}
+	return LatSnapshot{
+		Result:     l.Result.Snapshot(),
+		PunctDelay: l.PunctDelay.Snapshot(),
+		Purge:      l.Purge.Snapshot(),
+	}
+}
+
+// Merge accumulates o into s — how a sharded operator's router builds
+// the global latency view from per-shard snapshots.
+func (s *LatSnapshot) Merge(o LatSnapshot) {
+	s.Result.Merge(o.Result)
+	s.PunctDelay.Merge(o.PunctDelay)
+	s.Purge.Merge(o.Purge)
+}

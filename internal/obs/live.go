@@ -52,6 +52,11 @@ func NewLive(every stream.Time) *Live {
 
 // Register adds a named gauge. Gauges run on the ticking operator's
 // goroutine (see type doc); register before the operator starts.
+//
+// The gauge is sampled once immediately, timestamped with the sampler's
+// last sample time (t=0 for a fresh sampler), so every series has at
+// least one point even when the run ends before the first period
+// elapses — a run shorter than `every` used to produce empty series.
 func (l *Live) Register(name string, fn func() float64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -59,6 +64,9 @@ func (l *Live) Register(name string, fn func() float64) {
 	if _, ok := l.series[name]; !ok {
 		l.series[name] = &metrics.Series{Name: name}
 	}
+	v := fn()
+	l.series[name].Add(l.lastAt.Millis(), v)
+	l.last[name] = v
 }
 
 // Tick samples every gauge if the sampling period has elapsed since the

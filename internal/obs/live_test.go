@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+// TestLiveRegisterSamplesImmediately is the regression test for the
+// first-tick fix: a run shorter than one sampling period used to end
+// with completely empty series because the first sample waited for the
+// first due tick. Registration now samples at t=0, so even a zero-tick
+// run has one point per series.
+func TestLiveRegisterSamplesImmediately(t *testing.T) {
+	lv := NewLive(100 * stream.Millisecond)
+	state := 42.0
+	lv.Register("state_bytes", func() float64 { return state })
+
+	// No ticks at all — the run "ended" before the first period.
+	series := lv.Series()
+	if len(series) != 1 {
+		t.Fatalf("got %d series, want 1", len(series))
+	}
+	s := series[0]
+	if s.Len() != 1 {
+		t.Fatalf("points = %d, want 1 (the registration sample)", s.Len())
+	}
+	if s.Points[0].T != 0 || s.Points[0].V != 42 {
+		t.Fatalf("registration point = (%v, %g), want (0, 42)", s.Points[0].T, s.Points[0].V)
+	}
+	last, _ := lv.LastValues()
+	if last["state_bytes"] != 42 {
+		t.Fatalf("LastValues missing registration sample: %v", last)
+	}
+}
+
+// TestLiveLateRegistrationStampsLastSampleTime: a gauge registered
+// mid-run gets its immediate sample at the sampler's last sample time,
+// not at zero, keeping per-series timestamps monotone.
+func TestLiveLateRegistrationStampsLastSampleTime(t *testing.T) {
+	lv := NewLive(10 * stream.Millisecond)
+	lv.Register("a", func() float64 { return 1 })
+	lv.Tick(0)
+	lv.Tick(20 * stream.Millisecond)
+
+	lv.Register("b", func() float64 { return 2 })
+	for _, s := range lv.Series() {
+		if s.Name != "b" {
+			continue
+		}
+		if s.Len() != 1 {
+			t.Fatalf("b has %d points, want 1", s.Len())
+		}
+		if s.Points[0].T != (20*stream.Millisecond).Millis() || s.Points[0].V != 2 {
+			t.Fatalf("late registration point = (%g, %g), want (20, 2)", s.Points[0].T, s.Points[0].V)
+		}
+		return
+	}
+	t.Fatal("series b missing")
+}

@@ -207,10 +207,10 @@ func TestLiveSampling(t *testing.T) {
 	if sb.Name != "state_bytes" {
 		t.Fatalf("series order: %q", sb.Name)
 	}
-	if sb.Len() != 3 {
-		t.Fatalf("points = %d, want 3 (tick@0, tick@12, flush@15)", sb.Len())
+	if sb.Len() != 4 {
+		t.Fatalf("points = %d, want 4 (register@0, tick@0, tick@12, flush@15)", sb.Len())
 	}
-	want := []float64{5, 9, 11}
+	want := []float64{0, 5, 9, 11}
 	for i, w := range want {
 		if sb.Points[i].V != w {
 			t.Errorf("point %d = %g, want %g", i, sb.Points[i].V, w)
@@ -229,6 +229,10 @@ func TestLiveConcurrentTickSamplesOnce(t *testing.T) {
 	lv := NewLive(10 * stream.Millisecond)
 	calls := 0
 	lv.Register("g", func() float64 { calls++; return 0 })
+	if calls != 1 {
+		t.Fatalf("registration should sample once, got %d calls", calls)
+	}
+	calls = 0
 	done := make(chan struct{})
 	for i := 0; i < 8; i++ {
 		go func() {

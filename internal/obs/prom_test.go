@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func promFixture() (LatSnapshot, map[string]float64) {
+	lat := NewLat()
+	for i := int64(1); i <= 100; i++ {
+		lat.Result.Record(i * 1000)      // 1µs..100µs
+		lat.PunctDelay.Record(i * 50000) // 50µs..5ms
+	}
+	lat.Purge.Record(1 << 20)
+	gauges := map[string]float64{
+		"state_bytes": 4096,
+		"punct-lag":   1.5e6, // needs sanitizing
+		"skew":        0.25,
+	}
+	return lat.Snapshot(), gauges
+}
+
+func TestWritePromFormat(t *testing.T) {
+	snap, gauges := promFixture()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "pjoin", snap, gauges); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := CheckPromFormat(buf.Bytes()); err != nil {
+		t.Fatalf("format check failed: %v\n%s", err, out)
+	}
+	// The three histogram families and the sanitized gauge are present.
+	for _, want := range []string{
+		"# TYPE pjoin_result_latency_ns histogram",
+		"# TYPE pjoin_punct_delay_ns histogram",
+		"# TYPE pjoin_purge_duration_ns histogram",
+		`pjoin_result_latency_ns_bucket{le="+Inf"} 100`,
+		"pjoin_result_latency_ns_count 100",
+		"pjoin_punct_delay_ns_count 100",
+		"pjoin_purge_duration_ns_count 1",
+		"# TYPE pjoin_punct_lag gauge",
+		"pjoin_state_bytes 4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Exact cumulative counts at power-of-two edges: results are
+	// i*1000 ns for i in 1..100, so le=65536 covers i <= 65.
+	if !strings.Contains(out, `pjoin_result_latency_ns_bucket{le="65536"} 65`) {
+		t.Errorf("wrong cumulative count at le=65536:\n%s", out)
+	}
+	// _sum is the exact sum: 1000 * (100*101/2).
+	if !strings.Contains(out, fmt.Sprintf("pjoin_result_latency_ns_sum %d", 1000*100*101/2)) {
+		t.Errorf("wrong _sum:\n%s", out)
+	}
+}
+
+func TestWritePromEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, "op", LatSnapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPromFormat(buf.Bytes()); err != nil {
+		t.Fatalf("empty payload fails format check: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `op_result_latency_ns_bucket{le="+Inf"} 0`) {
+		t.Errorf("empty histogram should still expose zero buckets:\n%s", buf.String())
+	}
+}
+
+func TestCheckPromFormatRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"not a metric line at all!",
+		"x_bucket{le=\"8\"} 5\nx_bucket{le=\"4\"} 6\nx_bucket{le=\"+Inf\"} 6\nx_count 6", // le not increasing
+		"x_bucket{le=\"4\"} 5\nx_bucket{le=\"8\"} 3\nx_bucket{le=\"+Inf\"} 5\nx_count 5", // count decreased
+		"x_bucket{le=\"4\"} 1\nx_bucket{le=\"+Inf\"} 2\nx_count 3",                       // count mismatch
+		"x_bucket{le=\"4\"} 1\nx_count 1",                                                // missing +Inf
+		"dup 1\ndup 2",                                                                   // duplicate series
+		"# BADCOMMENT x y",                                                               // malformed comment
+	}
+	for i, payload := range bad {
+		if err := CheckPromFormat([]byte(payload)); err == nil {
+			t.Errorf("case %d: garbage accepted:\n%s", i, payload)
+		}
+	}
+}
+
+func TestPromSanitize(t *testing.T) {
+	cases := map[string]string{
+		"state_bytes": "state_bytes",
+		"punct-lag":   "punct_lag",
+		"9lives":      "_lives",
+		"a.b/c":       "a_b_c",
+		"":            "_",
+	}
+	for in, want := range cases {
+		if got := promSanitize(in); got != want {
+			t.Errorf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Recorder is a Tracer that keeps every event in memory, for tests and
 // for reconciling trace counts against operator metrics.
@@ -45,3 +48,80 @@ func (r *Recorder) Count(k Kind) int64 {
 }
 
 var _ Tracer = (*Recorder)(nil)
+
+// Ring is a bounded Tracer holding the most recent `capacity` events —
+// the flight recorder's event store. Older events are overwritten in
+// place, so a long run costs a fixed amount of memory and the tail of
+// the trace is always available for a post-mortem dump.
+//
+// Detach atomically turns the ring off: Enabled flips to false, which
+// the Instr fast path reads before building an Event, so a detached
+// ring stops costing anything on the record path. Detach may race with
+// in-flight Trace calls; those either land or don't, but never corrupt
+// the buffer (writes stay under the mutex).
+type Ring struct {
+	detached atomic.Bool
+
+	mu    sync.Mutex
+	buf   []Event
+	next  int   // next write slot
+	total int64 // events ever offered (not capped)
+}
+
+// NewRing returns a ring keeping the last capacity events (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Enabled implements Tracer.
+func (r *Ring) Enabled() bool { return !r.detached.Load() }
+
+// Trace implements Tracer.
+func (r *Ring) Trace(e Event) {
+	if r.detached.Load() {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest → newest.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total returns how many events were ever offered to the ring,
+// including those since overwritten.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Detach turns the ring off. Safe to call from any goroutine, including
+// concurrently with Trace.
+func (r *Ring) Detach() { r.detached.Store(true) }
+
+var _ Tracer = (*Ring)(nil)

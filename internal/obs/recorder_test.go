@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+func TestRecorderEventsAndCount(t *testing.T) {
+	r := NewRecorder()
+	if !r.Enabled() {
+		t.Fatal("recorder must be enabled")
+	}
+	r.Trace(Event{Kind: KindTupleIn, At: 1})
+	r.Trace(Event{Kind: KindPurge, At: 2})
+	r.Trace(Event{Kind: KindTupleIn, At: 3})
+	if got := r.Count(KindTupleIn); got != 2 {
+		t.Fatalf("Count(tuple_in) = %d, want 2", got)
+	}
+	if got := r.Count(KindPropagate); got != 0 {
+		t.Fatalf("Count(propagate) = %d, want 0", got)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events len = %d, want 3", len(evs))
+	}
+	// Events returns a copy — mutating it must not affect the recorder.
+	evs[0].Kind = KindPurge
+	if got := r.Count(KindPurge); got != 1 {
+		t.Fatalf("Events() aliases internal storage: Count(purge) = %d", got)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Trace(Event{Kind: KindTupleIn, At: stream.Time(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot len = %d, want 5", len(snap))
+	}
+	for i, e := range snap {
+		if e.At != stream.Time(i) {
+			t.Fatalf("snap[%d].At = %d, want %d", i, e.At, i)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+// TestRingWrapAround fills the ring several times over and checks that
+// exactly the newest `capacity` events survive, oldest first.
+func TestRingWrapAround(t *testing.T) {
+	const capacity, n = 8, 27
+	r := NewRing(capacity)
+	for i := 0; i < n; i++ {
+		r.Trace(Event{Kind: KindTupleIn, At: stream.Time(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), capacity)
+	}
+	for i, e := range snap {
+		want := stream.Time(n - capacity + i)
+		if e.At != want {
+			t.Fatalf("snap[%d].At = %d, want %d (oldest→newest order)", i, e.At, want)
+		}
+	}
+	if r.Total() != n {
+		t.Fatalf("Total = %d, want %d", r.Total(), n)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0) // clamps to 1
+	r.Trace(Event{At: 1})
+	r.Trace(Event{At: 2})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].At != 2 {
+		t.Fatalf("snapshot = %+v, want just the newest event", snap)
+	}
+}
+
+// TestRingConcurrentDetach hammers a ring from writer goroutines while
+// another goroutine detaches it and snapshots — the -race proof that
+// Detach is safe against in-flight Trace calls.
+func TestRingConcurrentDetach(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 5000; i++ {
+				if !r.Enabled() {
+					return
+				}
+				r.Trace(Event{Kind: KindProbe, At: stream.Time(i), Shard: int32(w)})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+		r.Detach()
+	}()
+	close(start)
+	wg.Wait()
+	if r.Enabled() {
+		t.Fatal("ring still enabled after Detach")
+	}
+	totalAtDetach := r.Total()
+	// Post-detach traces are dropped.
+	r.Trace(Event{At: 999})
+	if r.Total() != totalAtDetach {
+		t.Fatalf("Trace after Detach recorded: total %d -> %d", totalAtDetach, r.Total())
+	}
+	if len(r.Snapshot()) > 64 {
+		t.Fatalf("snapshot exceeds capacity: %d", len(r.Snapshot()))
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// CreateSink opens (creating/truncating) a trace output file. Paths
+// ending in ".gz" write through a gzip.Writer — JSONL traces compress
+// roughly 10x, which matters for long `pjoinbench -trace` runs and for
+// flight-recorder dumps shipped off-box. Close flushes the gzip stream
+// before closing the file; callers must Close to get a valid archive.
+func CreateSink(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	return &gzipSink{zw: gzip.NewWriter(f), f: f}, nil
+}
+
+type gzipSink struct {
+	zw *gzip.Writer
+	f  *os.File
+}
+
+func (s *gzipSink) Write(p []byte) (int, error) { return s.zw.Write(p) }
+
+func (s *gzipSink) Close() error {
+	zerr := s.zw.Close()
+	ferr := s.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// OpenSink opens a trace file for reading, transparently ungzipping
+// ".gz" paths — the read-side counterpart of CreateSink, used by tests
+// and post-mortem tooling.
+func OpenSink(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzipSource{zr: zr, f: f}, nil
+}
+
+type gzipSource struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (s *gzipSource) Read(p []byte) (int, error) { return s.zr.Read(p) }
+
+func (s *gzipSource) Close() error {
+	zerr := s.zr.Close()
+	ferr := s.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+// traceSome writes a small JSONL trace through the sink and closes it.
+func traceSome(t *testing.T, path string, n int) {
+	t.Helper()
+	w, err := CreateSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJSONL(w)
+	for i := 0; i < n; i++ {
+		j.Trace(Event{Kind: KindTupleIn, At: stream.Time(i), Op: "pjoin", Shard: -1, Side: int8(i % 2)})
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	r, err := OpenSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var lines []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestSinkGzipRoundTrip: a trace written to a .gz path comes back
+// identical through OpenSink, and the file really is a gzip stream.
+func TestSinkGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "trace.jsonl")
+	zipped := filepath.Join(dir, "trace.jsonl.gz")
+	const n = 500
+	traceSome(t, plain, n)
+	traceSome(t, zipped, n)
+
+	plainLines := readLines(t, plain)
+	zipLines := readLines(t, zipped)
+	if len(plainLines) != n || len(zipLines) != n {
+		t.Fatalf("line counts: plain %d, gz %d, want %d", len(plainLines), len(zipLines), n)
+	}
+	for i := range plainLines {
+		if plainLines[i] != zipLines[i] {
+			t.Fatalf("line %d differs:\nplain: %s\ngz:    %s", i, plainLines[i], zipLines[i])
+		}
+	}
+	// Every line is valid JSON with the expected fields.
+	var rec struct {
+		Ev  string `json:"ev"`
+		TNs int64  `json:"t_ns"`
+	}
+	if err := json.Unmarshal([]byte(zipLines[n-1]), &rec); err != nil {
+		t.Fatalf("last line not JSON: %v", err)
+	}
+	if rec.Ev != "tuple_in" || rec.TNs != n-1 {
+		t.Fatalf("last line = %+v", rec)
+	}
+
+	// The .gz file must be a real gzip stream (magic header + smaller
+	// than the plain trace), not a plain file with a misleading name.
+	raw, err := os.ReadFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("missing gzip magic header")
+	}
+	plainInfo, err := os.Stat(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) >= plainInfo.Size() {
+		t.Fatalf("gzip trace (%d bytes) not smaller than plain (%d bytes)", len(raw), plainInfo.Size())
+	}
+	// And stdlib gzip must agree it is well-formed end-to-end.
+	f, err := os.Open(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufio.NewReader(zr).ReadBytes(0); err != nil && err.Error() != "EOF" {
+		t.Fatalf("corrupt gzip stream: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatalf("gzip checksum: %v", err)
+	}
+}
+
+func TestSinkPlainPassThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	traceSome(t, path, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[0] != '{' {
+		t.Fatalf("plain sink should write JSONL directly, got %q", raw)
+	}
+}

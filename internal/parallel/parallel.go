@@ -149,6 +149,12 @@ type ShardedPJoin struct {
 	shards []*shard
 	attrs  [2]int
 	instr  *obs.Instr
+	// lat holds the router-level punctuation-propagation-delay histogram:
+	// the join-wide delay is arrival-at-router → merge-alignment-complete,
+	// one sample per forwarded punctuation (shard-level PunctDelay would
+	// give N samples per punctuation and measure only shard-local delay).
+	// Result/Purge latencies live in the shards; Latencies() merges them.
+	lat *obs.Lat
 
 	eos      [2]bool
 	finished bool
@@ -185,8 +191,9 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 		out:   out,
 		attrs: [2]int{cfg.Join.AttrA, cfg.Join.AttrB},
 		instr: cfg.Instr,
-		merge: &merger{out: out, n: cfg.Shards, in: cfg.Instr, pending: make(map[string]*pendingPunct)},
+		lat:   obs.NewLat(),
 	}
+	j.merge = &merger{out: out, n: cfg.Shards, in: cfg.Instr, lat: j.lat, pending: make(map[string]*pendingPunct)}
 	shardName := cfg.Instr.Op()
 	if shardName == "" {
 		shardName = "pjoin"
@@ -331,6 +338,21 @@ func (j *ShardedPJoin) Process(port int, it stream.Item, now stream.Time) error 
 		j.instr.Event(obs.KindShardRoute, now, port, int64(s), 0)
 		j.send(j.shards[s], message{kind: msgItem, port: port, item: it, now: now})
 	case stream.KindPunct:
+		// Note the arrival time under the merge key BEFORE broadcasting,
+		// so the merger can measure arrival → alignment-complete delay
+		// when the countdown finishes. Gated on propagation being on:
+		// otherwise shards never propagate and entries would accumulate.
+		inSc := j.cfg.Join.SchemaA
+		if port == 1 {
+			inSc = j.cfg.Join.SchemaB
+		}
+		if !j.cfg.Join.DisablePropagation && !it.Punct.IsEmpty() && it.Punct.Width() == inSc.Width() {
+			outP, err := core.OutputPunctuation(j.cfg.Join.SchemaA, j.cfg.Join.SchemaB, port, it.Punct)
+			if err != nil {
+				return fmt.Errorf("parallel: %s: %w", j.Name(), err)
+			}
+			j.merge.notePunctArrival(outP.String(), it.Ts)
+		}
 		for _, sh := range j.shards {
 			j.send(sh, message{kind: msgItem, port: port, item: it, now: now})
 		}
@@ -443,6 +465,39 @@ func (j *ShardedPJoin) Metrics() joinbase.Metrics {
 	return total
 }
 
+// Latencies returns the join-wide latency view: Result and Purge are
+// the shard histograms merged (each result is emitted by exactly one
+// shard, so the merged counts reconcile one-to-one with TuplesOut and
+// PurgeRuns); PunctDelay is the router-level histogram — one sample per
+// punctuation that completed merge alignment and was forwarded, so its
+// count equals Metrics().PunctsOut exactly. Shard-local PunctDelay
+// samples are intentionally excluded: they measure per-shard
+// propagation, not the join-wide promise.
+func (j *ShardedPJoin) Latencies() obs.LatSnapshot {
+	var out obs.LatSnapshot
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		s := sh.pj.Latencies()
+		sh.mu.Unlock()
+		out.Result.Merge(s.Result)
+		out.Purge.Merge(s.Purge)
+	}
+	out.PunctDelay = j.lat.Snapshot().PunctDelay
+	return out
+}
+
+// ShardLatencies snapshots each shard's own histograms (shard-local
+// PunctDelay included) for skew diagnostics.
+func (j *ShardedPJoin) ShardLatencies() []obs.LatSnapshot {
+	out := make([]obs.LatSnapshot, len(j.shards))
+	for i, sh := range j.shards {
+		sh.mu.Lock()
+		out[i] = sh.pj.Latencies()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // StateTuples returns the total tuples held across all shard states.
 func (j *ShardedPJoin) StateTuples() int {
 	total := 0
@@ -523,6 +578,7 @@ type merger struct {
 	out op.Emitter
 	n   int
 	in  *obs.Instr
+	lat *obs.Lat // router-owned; PunctDelay recorded at forward
 
 	mu        sync.Mutex
 	pending   map[string]*pendingPunct
@@ -538,6 +594,28 @@ type merger struct {
 type pendingPunct struct {
 	remaining int
 	ts        stream.Time
+
+	// arrivedAt is the punctuation's arrival time at the router, noted
+	// before the broadcast (notePunctArrival); tracked distinguishes a
+	// noted arrival from a zero timestamp.
+	arrivedAt stream.Time
+	tracked   bool
+}
+
+// notePunctArrival records a broadcast punctuation's arrival time under
+// its merge key, creating the countdown entry eagerly so the forward
+// can measure arrival → alignment-complete delay.
+func (m *merger) notePunctArrival(key string, ts stream.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pp := m.pending[key]
+	if pp == nil {
+		pp = &pendingPunct{remaining: m.n}
+		m.pending[key] = pp
+	}
+	if !pp.tracked {
+		pp.arrivedAt, pp.tracked = ts, true
+	}
 }
 
 // emitter returns the op.Emitter handed to one shard's PJoin. All
@@ -567,6 +645,9 @@ func (m *merger) emitter() op.Emitter {
 			}
 			delete(m.pending, key)
 			m.punctsOut++
+			if pp.tracked {
+				m.lat.RecordPunctDelay(pp.ts, pp.arrivedAt)
+			}
 			m.in.Event(obs.KindShardMerge, pp.ts, -1, int64(m.n), 0)
 			return m.out.Emit(stream.PunctItem(it.Punct, pp.ts))
 		case stream.KindEOS:

@@ -27,6 +27,12 @@ type Entry struct {
 	Count   int  // state tuples whose pid == PID
 	Indexed bool // index build has assigned tuples to this punctuation
 
+	// ArrivedAt is the stream timestamp (ns, a stream.Time value — this
+	// package sits below internal/stream) at which the punctuation
+	// arrived at the operator. Propagation records now − ArrivedAt as the
+	// punctuation's propagation delay (internal/obs.Lat.PunctDelay).
+	ArrivedAt int64
+
 	// Propagated marks an entry that was already released downstream but
 	// retained in the set (instead of removed, §3.5) so it keeps serving
 	// the purge and drop-on-the-fly rules. Retention keeps a set's

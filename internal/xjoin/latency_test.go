@@ -1,0 +1,76 @@
+package xjoin
+
+import (
+	"testing"
+
+	"pjoin/internal/op"
+	"pjoin/internal/stream"
+)
+
+// latencyConfig exercises both emit paths: memory probes plus a spill +
+// final disk pass (low memory threshold), in the chosen index regime.
+func latencyConfig(indexed bool) Config {
+	return Config{
+		SchemaA: schemaA, SchemaB: schemaB,
+		AttrA: 0, AttrB: 0,
+		NumBuckets:        8,
+		MemoryBytes:       256,
+		DisableStateIndex: !indexed,
+	}
+}
+
+// TestLatencyReconciliation is the histogram-count contract for XJoin:
+// one Result sample per emitted result across memory and disk-pass emit
+// paths; PunctDelay and Purge stay empty (XJoin neither propagates nor
+// purges — the empty histograms are the baseline's story).
+func TestLatencyReconciliation(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		name := "indexed"
+		if !indexed {
+			name = "scan"
+		}
+		t.Run(name, func(t *testing.T) {
+			sink := &op.Collector{}
+			x, err := New(latencyConfig(indexed), sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var items []feedItem
+			ts := stream.Time(1)
+			for k := int64(0); k < 40; k++ {
+				items = append(items, tupA(k%8, "a", ts))
+				ts++
+				items = append(items, tupB(k%8, "b", ts))
+				ts++
+			}
+			run(t, x, items)
+
+			m := x.Metrics()
+			lat := x.Latencies()
+			if m.TuplesOut == 0 || m.Relocations == 0 || m.DiskPasses == 0 {
+				t.Fatalf("workload vacuous (no spill exercised): %+v", m)
+			}
+			if lat.Result.Count != m.TuplesOut {
+				t.Errorf("Result samples %d != TuplesOut %d", lat.Result.Count, m.TuplesOut)
+			}
+			var results int64
+			for _, it := range sink.Items {
+				if it.Kind == stream.KindTuple {
+					results++
+				}
+			}
+			if lat.Result.Count != results {
+				t.Errorf("Result samples %d != collected results %d", lat.Result.Count, results)
+			}
+			if lat.PunctDelay.Count != 0 || lat.Purge.Count != 0 {
+				t.Errorf("XJoin recorded PunctDelay=%d Purge=%d samples, want 0/0",
+					lat.PunctDelay.Count, lat.Purge.Count)
+			}
+			// Disk-pass results carry positive latency (the spilled partner
+			// waited); the distribution must reflect that.
+			if lat.Result.Max <= 0 {
+				t.Errorf("max result latency = %d, want > 0 (disk-pass results wait)", lat.Result.Max)
+			}
+		})
+	}
+}

@@ -62,6 +62,10 @@ type XJoin struct {
 	mon   *event.Monitor
 	attrs [2]int
 	outSc *stream.Schema
+	// lat holds the latency histograms (see core.PJoin.lat). XJoin never
+	// propagates, so its PunctDelay histogram stays empty — the missing
+	// signal is the baseline's story, same as the absent punct-lag gauge.
+	lat *obs.Lat
 
 	now      stream.Time
 	eos      [2]bool
@@ -116,8 +120,9 @@ func New(cfg Config, out op.Emitter) (*XJoin, error) {
 		stA.SetScanFallback(true)
 		stB.SetScanFallback(true)
 	}
-	x := &XJoin{cfg: cfg, out: out, attrs: [2]int{cfg.AttrA, cfg.AttrB}, outSc: outSc}
+	x := &XJoin{cfg: cfg, out: out, attrs: [2]int{cfg.AttrA, cfg.AttrB}, outSc: outSc, lat: obs.NewLat()}
 	x.base, err = joinbase.New(stA, stB, outSc, func(t *stream.Tuple) error {
+		x.lat.RecordResult(x.now, t.Ts)
 		return out.Emit(stream.TupleItem(t))
 	})
 	if err != nil {
@@ -187,6 +192,9 @@ func (x *XJoin) registerGauges() {
 		return float64(a.MemGroups + b.MemGroups)
 	})
 	lv.Register(name+".tuples_out", func() float64 { return float64(x.base.M.TuplesOut) })
+	lv.Register(name+".tuples_in", func() float64 {
+		return float64(x.base.M.TuplesIn[0] + x.base.M.TuplesIn[1])
+	})
 }
 
 // Name implements op.Operator.
@@ -200,6 +208,11 @@ func (x *XJoin) OutSchema() *stream.Schema { return x.outSc }
 
 // Metrics returns the accumulated work counters.
 func (x *XJoin) Metrics() joinbase.Metrics { return x.base.M }
+
+// Latencies returns a snapshot of the operator's latency histograms.
+// PunctDelay and Purge are always empty for XJoin (it neither
+// propagates nor purges). Safe from any goroutine while running.
+func (x *XJoin) Latencies() obs.LatSnapshot { return x.lat.Snapshot() }
 
 // StateStats returns the size accounting of both states.
 func (x *XJoin) StateStats() (a, b store.Stats) {
