@@ -27,11 +27,14 @@ check: build vet race
 # pre-index scan regime and the indexed regime. BENCH_4.json: the
 # latency sweep — result-latency and punctuation-propagation-delay
 # quantiles (p50/p95/p99/max) across punctuation inter-arrival rates in
-# both regimes. The JSON artifacts are committed so regressions show up
-# in review.
+# both regimes. BENCH_5.json: the incremental disk-join sweep —
+# result-latency quantiles per chunk budget (0 = blocking baseline)
+# with spill-cache hit ratios. The JSON artifacts are committed so
+# regressions show up in review.
 bench:
 	$(GO) run ./cmd/pjoinbench -bench3 BENCH_3.json
 	$(GO) run ./cmd/pjoinbench -bench4 BENCH_4.json
+	$(GO) run ./cmd/pjoinbench -bench5 BENCH_5.json
 
 # Fault-injection flight-recorder sample: wedge a join on a failing
 # spill device, let the lag SLO fire, dump the last trace events +

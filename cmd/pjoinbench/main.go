@@ -17,6 +17,10 @@
 //	                                        # + per-experiment work counters
 //	pjoinbench -bench4 BENCH_4.json         # latency summary: result-latency and
 //	                                        # punct-delay quantiles per punct rate
+//	pjoinbench -bench5 BENCH_5.json         # incremental disk-join sweep: latency
+//	                                        # quantiles per chunk budget + cache hit ratio
+//	pjoinbench -fig 9 -disk-chunk-kb 64     # run any figure with incremental passes
+//	pjoinbench -fig 9 -spill-cache-mb 4     # ... and/or a spill block cache
 //	pjoinbench -flight-sample flight.jsonl.gz  # fault-injection flight dump
 //
 // Trace files with a .gz suffix are written gzip-compressed.
@@ -50,7 +54,11 @@ func main() {
 		liveMs = flag.Int64("live", 0, "sample live operator gauges every N virtual milliseconds (series go to -csv)")
 		bench3 = flag.String("bench3", "", "write the performance summary JSON (index micro-benchmarks + per-experiment work counters) to this file")
 		bench4 = flag.String("bench4", "", "write the latency summary JSON (result-latency + punct-delay quantiles per punctuation rate) to this file")
+		bench5 = flag.String("bench5", "", "write the incremental disk-join sweep JSON (result-latency quantiles per chunk budget + spill-cache hit ratio) to this file")
 		flight = flag.String("flight-sample", "", "run the fault-injection flight-recorder scenario and write the dump to this file (.gz compresses)")
+
+		chunkKB = flag.Int("disk-chunk-kb", 0, "run disk passes incrementally with this per-step read budget in KiB (0 = blocking)")
+		cacheMB = flag.Int("spill-cache-mb", 0, "wrap spill stores in an LRU block cache of this many MiB (0 = no cache)")
 	)
 	flag.Parse()
 
@@ -82,6 +90,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *bench4)
+		return
+	}
+
+	if *bench5 != "" {
+		rep, err := bench.RunBench5(*seed, *quick, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench5: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*bench5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench5: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench5)
 		return
 	}
 
@@ -119,10 +147,12 @@ func main() {
 	}
 
 	rc := bench.RunConfig{
-		Seed:     *seed,
-		Quick:    *quick,
-		Duration: stream.Time(*durMs) * stream.Millisecond,
-		Shards:   shardCounts,
+		Seed:         *seed,
+		Quick:        *quick,
+		Duration:     stream.Time(*durMs) * stream.Millisecond,
+		Shards:       shardCounts,
+		DiskChunkKB:  *chunkKB,
+		SpillCacheMB: *cacheMB,
 	}
 	var tracer *obs.JSONL
 	if *trace != "" {

@@ -18,6 +18,7 @@ import (
 	"pjoin/internal/obs"
 	"pjoin/internal/op"
 	"pjoin/internal/sim"
+	"pjoin/internal/store"
 	"pjoin/internal/stream"
 	"pjoin/internal/xjoin"
 )
@@ -53,6 +54,14 @@ type RunConfig struct {
 	// Work, when set, collects each simulated operator's final metrics
 	// (pjoinbench -bench3).
 	Work *WorkLog
+	// DiskChunkKB, when positive, runs every operator's disk passes as
+	// incremental background tasks with this per-step read budget in
+	// KiB (core.Config.DiskChunkBytes). 0 keeps passes blocking.
+	DiskChunkKB int
+	// SpillCacheMB, when positive, wraps each operator's spill stores in
+	// an LRU block cache of this many MiB (store.CachedSpill), so hot
+	// spilled partitions are re-joined from memory.
+	SpillCacheMB int
 }
 
 // WorkRow is one simulated operator run's final work counters.
@@ -190,19 +199,35 @@ func pjoinFor(rc RunConfig, name string, purge int, mutate func(*core.Config)) (
 	cfg.Thresholds.Purge = purge
 	cfg.DisablePropagation = true // most experiments measure join-only behaviour
 	cfg.DisableStateIndex = !rc.Indexed
+	cfg.DiskChunkBytes = rc.DiskChunkKB << 10
+	cfg.SpillA, cfg.SpillB = rc.spillPair()
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	return core.New(cfg, &op.Collector{})
 }
 
+// spillPair builds the spill stores for one operator: plain in-memory
+// stores, wrapped in an LRU block cache when the run asks for one.
+func (rc RunConfig) spillPair() (store.SpillStore, store.SpillStore) {
+	if rc.SpillCacheMB <= 0 {
+		return nil, nil // operator defaults (plain MemSpill)
+	}
+	capBytes := int64(rc.SpillCacheMB) << 20
+	return store.NewCachedSpill(store.NewMemSpill(), capBytes),
+		store.NewCachedSpill(store.NewMemSpill(), capBytes)
+}
+
 func xjoinFor(rc RunConfig) (*xjoin.XJoin, error) {
-	return xjoin.New(xjoin.Config{
+	cfg := xjoin.Config{
 		SchemaA: gen.SchemaA, SchemaB: gen.SchemaB,
 		AttrA: gen.KeyAttr, AttrB: gen.KeyAttr,
 		Instr:             rc.instr("xjoin"),
 		DisableStateIndex: !rc.Indexed,
-	}, &op.Collector{})
+		DiskChunkBytes:    rc.DiskChunkKB << 10,
+	}
+	cfg.SpillA, cfg.SpillB = rc.spillPair()
+	return xjoin.New(cfg, &op.Collector{})
 }
 
 // simulate runs the join over the workload with default costs and a

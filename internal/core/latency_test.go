@@ -57,6 +57,67 @@ func TestLatencyReconciliation(t *testing.T) {
 	}
 }
 
+// TestDiskLatencyReconciliation extends the histogram-count contract to
+// the disk join: one DiskPass sample per completed pass (blocking or
+// chunked) and one DiskChunk sample per executed incremental step, in
+// both scheduling modes and both state-index regimes. This is the
+// regression for the chunked sampling rule: a pass spanning N chunks
+// records N chunk samples AND exactly one end-to-end pass sample, never
+// one per chunk.
+func TestDiskLatencyReconciliation(t *testing.T) {
+	for _, chunkBytes := range []int{0, 256} {
+		name := "blocking"
+		if chunkBytes > 0 {
+			name = "chunked"
+		}
+		for _, indexed := range []bool{true, false} {
+			iname := name + "-indexed"
+			if !indexed {
+				iname = name + "-scan"
+			}
+			t.Run(iname, func(t *testing.T) {
+				cfg := obsConfig(obs.NewRecorder())
+				cfg.DisableStateIndex = !indexed
+				cfg.DiskChunkBytes = chunkBytes
+				sink := &op.Collector{}
+				j, err := New(cfg, sink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run(t, j, obsWorkload())
+
+				m := j.Metrics()
+				lat := j.Latencies()
+				if m.DiskPasses == 0 {
+					t.Fatalf("workload ran no disk passes: %+v", m)
+				}
+				if lat.DiskPass.Count != m.DiskPasses {
+					t.Errorf("DiskPass samples %d != DiskPasses %d", lat.DiskPass.Count, m.DiskPasses)
+				}
+				if lat.DiskChunk.Count != m.DiskChunks {
+					t.Errorf("DiskChunk samples %d != DiskChunks %d", lat.DiskChunk.Count, m.DiskChunks)
+				}
+				if chunkBytes == 0 {
+					if m.DiskChunks != 0 {
+						t.Errorf("blocking mode executed %d chunks, want 0", m.DiskChunks)
+					}
+				} else {
+					// A 256-byte budget over this relocating workload must
+					// split every pass into several steps.
+					if m.DiskChunks < m.DiskPasses {
+						t.Errorf("chunked mode: %d chunks over %d passes, want at least one per pass",
+							m.DiskChunks, m.DiskPasses)
+					}
+				}
+				// Purge sampling must be untouched by the scheduling mode.
+				if lat.Purge.Count != m.PurgeRuns {
+					t.Errorf("Purge samples %d != PurgeRuns %d", lat.Purge.Count, m.PurgeRuns)
+				}
+			})
+		}
+	}
+}
+
 // TestLatencyValues pins the semantics of the recorded values on a
 // hand-built workload: a memory-probe result has zero latency (the
 // result's timestamp is the probing tuple's own), while a punctuation

@@ -46,6 +46,14 @@ type Config struct {
 	// value disables relocation, disk-join activation and push-mode
 	// propagation, and sets eager purge (threshold 1).
 	Thresholds event.Thresholds
+	// DiskChunkBytes, when positive, makes the disk-join component
+	// incremental: instead of one stop-the-world pass, disk joins run as
+	// a resumable background task that reads spill data in chunks of at
+	// most this many bytes and yields to the hot path after every chunk.
+	// Process steps the task once per input item, so result latency is
+	// bounded by one chunk instead of one full pass. 0 keeps the
+	// blocking pass.
+	DiskChunkBytes int
 	// EagerIndex selects eager punctuation index building (build on
 	// every punctuation arrival) instead of the default lazy building
 	// (build only when propagation is invoked). §3.5.
@@ -153,6 +161,26 @@ type PJoin struct {
 	// already-applied punctuation re-enters the state, so later runs
 	// need only the entries above the mark (see purgeState).
 	purgeMark [2]punct.PID
+
+	// diskTask is the in-flight incremental disk pass (nil when none, or
+	// when cfg.DiskChunkBytes == 0 — blocking mode). Process steps it one
+	// bounded chunk per input item and OnIdle steps it per idle tick, so
+	// left-over joins complete in the background.
+	diskTask      *joinbase.ChunkPass
+	diskTaskStart time.Time
+	// propPending records that a propagation release arrived while an
+	// incremental pass was in flight; the pass's completion re-runs it.
+	propPending bool
+	// dropBound, per side: the largest pid in that side's punctuation
+	// set when the current pass bucket opened. Disk purge only drops on
+	// entries at or below the bound — see passHooks.
+	dropBound [2]punct.PID
+	// pendBound, per side: the largest pid when the current incremental
+	// pass STARTED. Only disk-pending marks at or below it clear on the
+	// pass's completion — an entry index-built mid-pass may have missed
+	// disk tuples in buckets the pass had already read, so its count
+	// stays untrusted until the next pass completes.
+	pendBound [2]punct.PID
 
 	obs *obs.Instr
 	// lat holds the operator's latency histograms: result latency (one
@@ -430,9 +458,15 @@ func (j *PJoin) Process(port int, it stream.Item, now stream.Time) error {
 	j.obs.Tick(j.now)
 	switch it.Kind {
 	case stream.KindTuple:
-		return j.processTuple(port, it.Tuple)
+		if err := j.processTuple(port, it.Tuple); err != nil {
+			return err
+		}
+		return j.pumpDisk(j.now)
 	case stream.KindPunct:
-		return j.processPunct(port, it.Punct, it.Ts)
+		if err := j.processPunct(port, it.Punct, it.Ts); err != nil {
+			return err
+		}
+		return j.pumpDisk(j.now)
 	case stream.KindEOS:
 		if j.eos[port] {
 			return fmt.Errorf("core: pjoin: duplicate EOS on port %d", port)
@@ -759,7 +793,19 @@ func (j *PJoin) indexDiskTuple(side int, sd *store.StoredTuple) {
 // punctuation propagation needs to finish up all the left-over joins,
 // will the disk join be scheduled to run").
 func (j *PJoin) propagate(now stream.Time) error {
-	if j.base.NeedsPass() {
+	if j.chunked() {
+		if j.diskTask != nil {
+			// An incremental pass is in flight: defer the release to its
+			// completion (stepDiskTask re-invokes propagate), which is
+			// when the disk-pending marks clear. With no pass in flight
+			// we release directly instead of forcing a blocking pass —
+			// entries whose counts may under-count disk-resident tuples
+			// are disk-pending and skipped below, so this is safe; the
+			// next completed pass releases them.
+			j.propPending = true
+			return nil
+		}
+	} else if j.base.NeedsPass() {
 		if err := j.diskPass(now); err != nil {
 			return err
 		}
@@ -848,15 +894,13 @@ func (j *PJoin) relocate(now stream.Time) error {
 	})
 }
 
-// diskPass is the disk-join component (§3.2): it finishes every
-// left-over join that state relocation caused, clears the purge
-// buffers, purges disk-resident tuples that match the opposite
-// punctuation set, and completes the punctuation index over the disk
-// portion (clearing disk-pending entries).
-func (j *PJoin) diskPass(now stream.Time) error {
-	if !j.base.NeedsPass() {
-		return nil
-	}
+// chunked reports whether the disk join runs incrementally.
+func (j *PJoin) chunked() bool { return j.cfg.DiskChunkBytes > 0 }
+
+// passHooks assembles the disk-pass callbacks shared by the blocking
+// and the incremental pass: discard bookkeeping, disk-tuple indexing
+// (unless propagation is off) and disk purge (unless disabled).
+func (j *PJoin) passHooks() joinbase.PassHooks {
 	hooks := joinbase.PassHooks{
 		OnDiscard: func(side int, sd *store.StoredTuple) {
 			j.discard(side, sd)
@@ -866,18 +910,126 @@ func (j *PJoin) diskPass(now stream.Time) error {
 		hooks.IndexDisk = j.indexDiskTuple
 	}
 	if !j.cfg.DisablePurge && !j.cfg.DisableDiskPurge {
+		// The drop decision is bounded by the punctuations present when
+		// the bucket opened (dropBound, captured in OnBucketOpen): an
+		// incremental pass's finalise runs after arrivals have
+		// interleaved with the bucket, and a punctuation that arrived
+		// mid-pass may still owe left-over joins between the disk tuples
+		// it matches and tuples parked after the bucket's snapshot —
+		// those pairs are the next pass's job, so the next pass is also
+		// the earliest allowed to drop the disk side of them.
+		// FirstMatchAttr returns the earliest-arrived matching entry, so
+		// comparing its pid against the bound is exact. For the blocking
+		// pass nothing can interleave and the bound is vacuous.
+		hooks.OnBucketOpen = func() {
+			j.dropBound[0] = j.psets[0].MaxPID()
+			j.dropBound[1] = j.psets[1].MaxPID()
+		}
 		hooks.DropDisk = func(side int, sd *store.StoredTuple) bool {
-			return j.psets[1-side].SetMatchAttr(j.attrs[1-side], sd.T.Values[j.attrs[side]])
+			e := j.psets[1-side].FirstMatchAttr(j.attrs[1-side], sd.T.Values[j.attrs[side]])
+			return e != nil && e.PID <= j.dropBound[1-side]
 		}
 	}
-	if err := j.base.DiskPass(now, hooks); err != nil {
+	return hooks
+}
+
+// diskPass is the disk-join component (§3.2): it finishes every
+// left-over join that state relocation caused, clears the purge
+// buffers, purges disk-resident tuples that match the opposite
+// punctuation set, and completes the punctuation index over the disk
+// portion (clearing disk-pending entries). In chunked mode the call
+// advances the background task by one bounded step instead of running
+// the whole pass.
+func (j *PJoin) diskPass(now stream.Time) error {
+	if j.chunked() {
+		return j.stepDiskTask(now)
+	}
+	if !j.base.NeedsPass() {
+		return nil
+	}
+	start := time.Now()
+	if err := j.base.DiskPass(now, j.passHooks()); err != nil {
 		return err
 	}
-	// The pass read and indexed every disk-resident tuple: counts are
-	// complete again.
+	j.lat.RecordDiskPass(time.Since(start).Nanoseconds())
+	j.passComplete()
+	return nil
+}
+
+// passComplete runs once a disk pass — blocking or chunked — finished:
+// the pass read and indexed every disk-resident tuple, so punctuation
+// match counts are complete again.
+func (j *PJoin) passComplete() {
 	for s := 0; s < 2; s++ {
 		if len(j.diskPending[s]) > 0 {
 			j.diskPending[s] = make(map[punct.PID]bool)
+		}
+	}
+}
+
+// stepDiskTask advances the incremental disk pass by one bounded step,
+// starting a fresh pass first if none is in flight and the state has
+// left-over work. On pass completion it clears the disk-pending marks
+// and re-runs any propagation release that was deferred mid-pass.
+func (j *PJoin) stepDiskTask(now stream.Time) error {
+	if j.diskTask == nil {
+		if !j.base.NeedsPass() {
+			return nil
+		}
+		j.diskTask = j.base.StartChunkPass(j.passHooks(), j.cfg.DiskChunkBytes)
+		j.diskTaskStart = time.Now()
+		j.pendBound[0] = j.psets[0].MaxPID()
+		j.pendBound[1] = j.psets[1].MaxPID()
+	}
+	start := time.Now()
+	done, err := j.diskTask.Step(now)
+	if err != nil {
+		j.diskTask = nil
+		return err
+	}
+	if !done {
+		j.lat.RecordDiskChunk(time.Since(start).Nanoseconds())
+		return nil
+	}
+	j.diskTask = nil
+	j.lat.RecordDiskPass(time.Since(j.diskTaskStart).Nanoseconds())
+	// Only marks present when the pass started are provably complete:
+	// an entry index-built mid-pass may have missed disk tuples in
+	// buckets the pass had already read past (see pendBound).
+	for s := 0; s < 2; s++ {
+		for pid := range j.diskPending[s] {
+			if pid <= j.pendBound[s] {
+				delete(j.diskPending[s], pid)
+			}
+		}
+	}
+	if j.propPending {
+		j.propPending = false
+		j.indexBuild(0)
+		j.indexBuild(1)
+		return j.propagate(now)
+	}
+	return nil
+}
+
+// pumpDisk gives the incremental disk pass one step of background
+// progress; Process calls it after every input item. Free in blocking
+// mode and when there is no left-over work.
+func (j *PJoin) pumpDisk(now stream.Time) error {
+	if !j.chunked() {
+		return nil
+	}
+	if j.diskTask == nil && !j.base.NeedsPass() {
+		return nil
+	}
+	return j.stepDiskTask(now)
+}
+
+// drainDiskTask steps the in-flight incremental pass to completion.
+func (j *PJoin) drainDiskTask(now stream.Time) error {
+	for j.diskTask != nil {
+		if err := j.stepDiskTask(now); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -888,6 +1040,19 @@ func (j *PJoin) diskPass(now stream.Time) error {
 // threshold elapses (§3.2's reactive scheduling).
 func (j *PJoin) OnIdle(now stream.Time) (bool, error) {
 	j.now = maxTime(j.now, now)
+	if j.chunked() {
+		// One chunk of background progress per idle tick; "worked" means
+		// a chunk actually executed, so the driver keeps ticking while
+		// left-over work remains.
+		before := j.base.M.DiskChunks
+		if err := j.mon.Idle(j.now); err != nil {
+			return false, err
+		}
+		if err := j.pumpDisk(j.now); err != nil {
+			return false, err
+		}
+		return j.base.M.DiskChunks > before, nil
+	}
 	before := j.base.M.DiskPasses
 	if err := j.mon.Idle(j.now); err != nil {
 		return false, err
@@ -914,7 +1079,22 @@ func (j *PJoin) Finish(now stream.Time) error {
 		return fmt.Errorf("core: pjoin: Finish before EOS on both ports")
 	}
 	j.now = maxTime(j.now, now)
-	if err := j.diskPass(j.now); err != nil {
+	if j.chunked() {
+		// Complete any in-flight incremental pass, then run one final
+		// pass to completion — the same single pass the blocking path
+		// runs here.
+		if err := j.drainDiskTask(j.now); err != nil {
+			return err
+		}
+		if j.base.NeedsPass() {
+			if err := j.stepDiskTask(j.now); err != nil {
+				return err
+			}
+			if err := j.drainDiskTask(j.now); err != nil {
+				return err
+			}
+		}
+	} else if err := j.diskPass(j.now); err != nil {
 		return err
 	}
 	if !j.cfg.DisablePropagation {

@@ -1,0 +1,101 @@
+package joinbase
+
+import (
+	"runtime"
+	"testing"
+
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+// spilledBase builds a Base with nTuples per side spread over the bucket
+// space, then relocates until everything memory-resident is on disk, so
+// a disk pass has real work on every bucket.
+func spilledBase(tb testing.TB, nTuples int) *Base {
+	tb.Helper()
+	var b testing.B
+	base := benchBase(&b)
+	for i := 0; i < nTuples; i++ {
+		ta := stream.MustTuple(benchSchemaA, stream.Time(2*i+1),
+			value.Int(int64(i%97)), value.Str("a"))
+		tbp := stream.MustTuple(benchSchemaB, stream.Time(2*i+2),
+			value.Int(int64(i%89)), value.Str("b"))
+		if _, err := base.States[0].Insert(ta); err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := base.States[1].Insert(tbp); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := base.Relocate(stream.Time(10*nTuples), 1, nil); err != nil {
+		tb.Fatal(err)
+	}
+	if !base.NeedsPass() {
+		tb.Fatal("setup produced no disk-resident work")
+	}
+	return base
+}
+
+// passMallocs runs fn under a heap-allocation meter and returns the
+// number of objects it allocated.
+func passMallocs(tb testing.TB, fn func() error) uint64 {
+	tb.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		tb.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestChunkedPassAllocsNoWorseThanBlocking is the allocation guard for
+// the incremental disk join: over the same spilled state, a chunked
+// pass driven step-by-step must not allocate materially more than the
+// equivalent blocking pass. The chunked form carries bounded extra
+// fixed overhead (the ChunkPass struct, one snapshot bundle and scan
+// cursor per bucket) but its per-tuple hot path — read, decode, index,
+// pair checks, rewrite — must be allocation-identical to blocking; the
+// 15% + constant envelope below fails if per-step or per-tuple garbage
+// sneaks in.
+func TestChunkedPassAllocsNoWorseThanBlocking(t *testing.T) {
+	const tuples = 4096
+	now := stream.Time(100 * tuples)
+
+	blockingBase := spilledBase(t, tuples)
+	blocking := passMallocs(t, func() error {
+		return blockingBase.DiskPass(now, PassHooks{})
+	})
+
+	chunkedBase := spilledBase(t, tuples)
+	chunked := passMallocs(t, func() error {
+		p := chunkedBase.StartChunkPass(PassHooks{}, 512)
+		for {
+			done, err := p.Step(now)
+			if err != nil || done {
+				return err
+			}
+		}
+	})
+
+	if blockingBase.M.DiskExamined != chunkedBase.M.DiskExamined ||
+		blockingBase.M.DiskJoins != chunkedBase.M.DiskJoins {
+		t.Fatalf("passes did different work: blocking examined=%d joins=%d, chunked examined=%d joins=%d",
+			blockingBase.M.DiskExamined, blockingBase.M.DiskJoins,
+			chunkedBase.M.DiskExamined, chunkedBase.M.DiskJoins)
+	}
+	if chunkedBase.M.DiskChunks < 2 {
+		t.Fatalf("budget did not split the pass: %d chunks", chunkedBase.M.DiskChunks)
+	}
+	// Fixed allowance: a few small objects per bucket (snapshot bundle,
+	// cursors) on top of blocking's own per-bucket slices.
+	buckets := chunkedBase.States[0].NumBuckets()
+	limit := blocking + blocking*15/100 + uint64(8*buckets)
+	if chunked > limit {
+		t.Errorf("chunked pass allocated %d objects vs blocking %d (limit %d over %d chunks)",
+			chunked, blocking, limit, chunkedBase.M.DiskChunks)
+	}
+	t.Logf("allocs: blocking=%d chunked=%d (%d chunks, %d buckets)",
+		blocking, chunked, chunkedBase.M.DiskChunks, buckets)
+}

@@ -51,6 +51,7 @@ type Metrics struct {
 	Relocations   int64    // buckets spilled
 	SpilledTuples int64    // tuples moved to disk
 	DiskPasses    int64    // disk passes executed
+	DiskChunks    int64    // bounded steps executed by incremental disk passes
 	Purged        int64    // tuples purged from the state (PJoin)
 	PurgeScanned  int64    // tuples examined by purge scans (PJoin)
 	PurgeRuns     int64    // purge component invocations (PJoin)
@@ -76,6 +77,7 @@ func (m *Metrics) Add(o Metrics) {
 	m.Relocations += o.Relocations
 	m.SpilledTuples += o.SpilledTuples
 	m.DiskPasses += o.DiskPasses
+	m.DiskChunks += o.DiskChunks
 	m.Purged += o.Purged
 	m.PurgeScanned += o.PurgeScanned
 	m.PurgeRuns += o.PurgeRuns
@@ -208,6 +210,16 @@ func (b *Base) Relocate(now stream.Time, memBytes int64, beforeSpill func(side, 
 
 // PassHooks customise a disk pass. All fields may be nil.
 type PassHooks struct {
+	// OnBucketOpen is called when the pass opens a bucket for
+	// processing, before any of its tuples are read or joined. An
+	// incremental pass interleaves with arrivals, so hooks that consult
+	// operator state which can move mid-pass (PJoin's disk purge
+	// consults the punctuation sets) capture their decision basis here:
+	// a bucket's drops may only be justified by punctuations already
+	// present at its open, because later punctuations' left-over joins
+	// against tuples parked after the bucket's snapshot belong to the
+	// NEXT pass — dropping on their account would lose those pairs.
+	OnBucketOpen func()
 	// IndexDisk is called for every disk-resident tuple read by the
 	// pass, letting PJoin assign pids to tuples that were spilled before
 	// a matching punctuation arrived.
@@ -264,6 +276,9 @@ func (b *Base) passBucket(i int, now stream.Time, hooks PassHooks) error {
 		return nil
 	}
 	last := b.lastPass[i]
+	if hooks.OnBucketOpen != nil {
+		hooks.OnBucketOpen()
+	}
 
 	// Assemble each side's full population of the bucket: disk portion,
 	// purge buffer, and memory portion.

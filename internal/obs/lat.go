@@ -26,11 +26,22 @@ type Lat struct {
 	PunctDelay *hist.Hist
 	// Purge: wall-clock duration of one purge pass.
 	Purge *hist.Hist
+	// DiskChunk: wall-clock duration of one bounded step of an
+	// incremental disk pass (a chunk read, a batch of pair checks, or a
+	// bucket finalise). The chunk budget caps these — the histogram is
+	// the evidence the hot path never stalls longer than one chunk.
+	DiskChunk *hist.Hist
+	// DiskPass: wall-clock duration of one complete disk pass, blocking
+	// or chunked (start of the pass to its last chunk).
+	DiskPass *hist.Hist
 }
 
-// NewLat returns a Lat with all three histograms allocated.
+// NewLat returns a Lat with all histograms allocated.
 func NewLat() *Lat {
-	return &Lat{Result: hist.New(), PunctDelay: hist.New(), Purge: hist.New()}
+	return &Lat{
+		Result: hist.New(), PunctDelay: hist.New(), Purge: hist.New(),
+		DiskChunk: hist.New(), DiskPass: hist.New(),
+	}
 }
 
 // RecordResult records one emitted result's latency (now − result ts).
@@ -58,16 +69,35 @@ func (l *Lat) RecordPurge(ns int64) {
 	l.Purge.Record(ns)
 }
 
+// RecordDiskChunk records one incremental-disk-pass step's wall-clock
+// duration in ns.
+func (l *Lat) RecordDiskChunk(ns int64) {
+	if l == nil {
+		return
+	}
+	l.DiskChunk.Record(ns)
+}
+
+// RecordDiskPass records one complete disk pass's wall-clock duration in
+// ns (blocking passes and chunked passes alike).
+func (l *Lat) RecordDiskPass(ns int64) {
+	if l == nil {
+		return
+	}
+	l.DiskPass.Record(ns)
+}
+
 // LatSnapshot is a point-in-time copy of a Lat, safe to merge and
 // serialise. The zero value is empty and merge-ready.
 type LatSnapshot struct {
 	Result     hist.Snapshot
 	PunctDelay hist.Snapshot
 	Purge      hist.Snapshot
+	DiskChunk  hist.Snapshot
+	DiskPass   hist.Snapshot
 }
 
-// Snapshot copies all three histograms. Nil-safe (returns an empty
-// snapshot).
+// Snapshot copies all histograms. Nil-safe (returns an empty snapshot).
 func (l *Lat) Snapshot() LatSnapshot {
 	if l == nil {
 		return LatSnapshot{}
@@ -76,6 +106,8 @@ func (l *Lat) Snapshot() LatSnapshot {
 		Result:     l.Result.Snapshot(),
 		PunctDelay: l.PunctDelay.Snapshot(),
 		Purge:      l.Purge.Snapshot(),
+		DiskChunk:  l.DiskChunk.Snapshot(),
+		DiskPass:   l.DiskPass.Snapshot(),
 	}
 }
 
@@ -85,4 +117,6 @@ func (s *LatSnapshot) Merge(o LatSnapshot) {
 	s.Result.Merge(o.Result)
 	s.PunctDelay.Merge(o.PunctDelay)
 	s.Purge.Merge(o.Purge)
+	s.DiskChunk.Merge(o.DiskChunk)
+	s.DiskPass.Merge(o.DiskPass)
 }

@@ -78,14 +78,18 @@ const (
 	KindOpStart
 	// KindOpFinish: the operator finished (post-EOS flush done).
 	KindOpFinish
+	// KindDiskChunk: one bounded step of an incremental disk pass
+	// completed. N = candidate pairs examined this step, M = results
+	// produced this step.
+	KindDiskChunk
 
-	numKinds = int(KindOpFinish) + 1
+	numKinds = int(KindDiskChunk) + 1
 )
 
 var kindNames = [numKinds]string{
 	"tuple_in", "punct_in", "probe", "purge", "propagate", "relocate",
 	"disk_pass", "spill_error", "shard_route", "shard_merge",
-	"op_start", "op_finish",
+	"op_start", "op_finish", "disk_chunk",
 }
 
 // String returns the kind's wire name (the "ev" field of the JSONL sink).

@@ -69,9 +69,10 @@ func promSanitize(name string) string {
 	return string(out)
 }
 
-// WriteProm renders the full /metrics payload: the three latency
-// histograms under <prefix>_result_latency_ns / <prefix>_punct_delay_ns
-// / <prefix>_purge_duration_ns, then one gauge per live sample, sorted
+// WriteProm renders the full /metrics payload: the latency histograms
+// under <prefix>_result_latency_ns / <prefix>_punct_delay_ns /
+// <prefix>_purge_duration_ns / <prefix>_disk_chunk_duration_ns /
+// <prefix>_disk_pass_duration_ns, then one gauge per live sample, sorted
 // by name for deterministic scrapes.
 func WriteProm(w io.Writer, prefix string, lat LatSnapshot, gauges map[string]float64) error {
 	prefix = promSanitize(prefix)
@@ -85,6 +86,14 @@ func WriteProm(w io.Writer, prefix string, lat LatSnapshot, gauges map[string]fl
 	}
 	if err := writePromHist(w, prefix+"_purge_duration_ns",
 		"Wall-clock duration of one state-purge pass (ns).", lat.Purge); err != nil {
+		return err
+	}
+	if err := writePromHist(w, prefix+"_disk_chunk_duration_ns",
+		"Wall-clock duration of one incremental disk-join step (ns).", lat.DiskChunk); err != nil {
+		return err
+	}
+	if err := writePromHist(w, prefix+"_disk_pass_duration_ns",
+		"Wall-clock duration of one complete disk-join pass (ns).", lat.DiskPass); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(gauges))

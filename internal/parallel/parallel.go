@@ -465,10 +465,11 @@ func (j *ShardedPJoin) Metrics() joinbase.Metrics {
 	return total
 }
 
-// Latencies returns the join-wide latency view: Result and Purge are
-// the shard histograms merged (each result is emitted by exactly one
-// shard, so the merged counts reconcile one-to-one with TuplesOut and
-// PurgeRuns); PunctDelay is the router-level histogram — one sample per
+// Latencies returns the join-wide latency view: Result, Purge,
+// DiskChunk and DiskPass are the shard histograms merged (each result,
+// purge run, disk chunk and disk pass belongs to exactly one shard, so
+// the merged counts reconcile one-to-one with TuplesOut, PurgeRuns,
+// DiskChunks and DiskPasses); PunctDelay is the router-level histogram — one sample per
 // punctuation that completed merge alignment and was forwarded, so its
 // count equals Metrics().PunctsOut exactly. Shard-local PunctDelay
 // samples are intentionally excluded: they measure per-shard
@@ -481,6 +482,8 @@ func (j *ShardedPJoin) Latencies() obs.LatSnapshot {
 		sh.mu.Unlock()
 		out.Result.Merge(s.Result)
 		out.Purge.Merge(s.Purge)
+		out.DiskChunk.Merge(s.DiskChunk)
+		out.DiskPass.Merge(s.DiskPass)
 	}
 	out.PunctDelay = j.lat.Snapshot().PunctDelay
 	return out

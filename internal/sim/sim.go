@@ -33,6 +33,7 @@ type CostModel struct {
 	PerPurgeRun   stream.Time // fixed cost per purge invocation (full table walk)
 	PerIndexScan  stream.Time // per tuple examined by index building
 	PerDiskPair   stream.Time // per candidate pair checked in a disk pass
+	PerDiskChunk  stream.Time // fixed cost per incremental disk-pass step (scheduling, cursor bookkeeping)
 	PerSpillTuple stream.Time // per tuple serialised during relocation
 	PerIOOp       stream.Time // per spill-store read/write operation (seek)
 	PerIOByte     stream.Time // per byte moved to/from the spill store
@@ -61,6 +62,7 @@ func DefaultCosts() CostModel {
 		PerPurgeRun:   4_000 * us, // a purge walks the whole hash table
 		PerIndexScan:  10 * us,
 		PerDiskPair:   2 * us,
+		PerDiskChunk:  100 * us, // task switch + cursor resume per bounded step
 		PerSpillTuple: 10 * us,
 		PerIOOp:       5_000 * us, // 5 ms seek
 		PerIOByte:     us / 100,   // 10 ns/byte ≈ 100 MB/s
@@ -82,6 +84,7 @@ func (d CostModel) Charge(m joinbase.Metrics) stream.Time {
 	cost += d.PerPurgeRun * stream.Time(m.PurgeRuns)
 	cost += d.PerIndexScan * stream.Time(m.IndexScanned)
 	cost += d.PerDiskPair * stream.Time(m.DiskExamined)
+	cost += d.PerDiskChunk * stream.Time(m.DiskChunks)
 	cost += d.PerSpillTuple * stream.Time(m.SpilledTuples)
 	return cost
 }
@@ -147,6 +150,10 @@ func (c *costTracker) ioNow() store.IOStats {
 		}
 		total.ReadOps += st.ReadOps
 		total.WriteOps += st.WriteOps
+		// Chunk continuations are reporting-only: their bytes are charged
+		// through BytesRead and their scheduling through PerDiskChunk, so
+		// charging them as ops too would double-count the same work.
+		total.ChunkReads += st.ChunkReads
 		total.BytesRead += st.BytesRead
 		total.BytesWritten += st.BytesWritten
 	}

@@ -92,6 +92,39 @@ func (f *FaultSpill) Truncate(partition int) error {
 // Size implements SpillStore.
 func (f *FaultSpill) Size(partition int) (int64, error) { return f.inner.Size(partition) }
 
+// OpenScan implements SpillStore. Opening is free (no data touched); the
+// cursor's chunk reads count toward FaultRead like Read does.
+func (f *FaultSpill) OpenScan(partition int) (ScanCursor, error) {
+	sc, err := f.inner.OpenScan(partition)
+	if err != nil {
+		return nil, err
+	}
+	return &faultScan{f: f, inner: sc}, nil
+}
+
+// faultScan wraps an inner cursor so every chunk read counts toward the
+// fault trigger.
+type faultScan struct {
+	f     *FaultSpill
+	inner ScanCursor
+}
+
+func (c *faultScan) NextChunk(budget int) ([]byte, error) {
+	if err := c.f.tick(FaultRead); err != nil {
+		return nil, err
+	}
+	return c.inner.NextChunk(budget)
+}
+
+func (c *faultScan) Tail() ([]byte, error) {
+	if err := c.f.tick(FaultRead); err != nil {
+		return nil, err
+	}
+	return c.inner.Tail()
+}
+
+func (c *faultScan) Close() error { return c.inner.Close() }
+
 // Stats implements SpillStore.
 func (f *FaultSpill) Stats() (IOStats, error) { return f.inner.Stats() }
 

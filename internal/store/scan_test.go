@@ -1,0 +1,384 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"pjoin/internal/stream"
+)
+
+// scanSuite runs the ScanCursor contract against any implementation.
+func scanSuite(t *testing.T, mk func(t *testing.T) SpillStore) {
+	t.Run("ChunksCoverSnapshotExactly", func(t *testing.T) {
+		sp := mk(t)
+		defer sp.Close()
+		payload := bytes.Repeat([]byte("0123456789"), 10)
+		if err := sp.Append(4, payload); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sp.OpenScan(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		var got []byte
+		for {
+			chunk, err := sc.NextChunk(7)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(chunk) == 0 || len(chunk) > 7 {
+				t.Fatalf("chunk size %d outside (0, budget]", len(chunk))
+			}
+			got = append(got, chunk...)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("chunks reassemble to %q, want %q", got, payload)
+		}
+		// EOF is sticky.
+		if _, err := sc.NextChunk(7); !errors.Is(err, io.EOF) {
+			t.Errorf("NextChunk after EOF = %v, want io.EOF", err)
+		}
+	})
+
+	t.Run("DuplicateSafeUnderAppend", func(t *testing.T) {
+		sp := mk(t)
+		defer sp.Close()
+		if err := sp.Append(0, []byte("old-bytes")); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sp.OpenScan(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		first, err := sc.NextChunk(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An append racing with the scan must not leak into NextChunk...
+		if err := sp.Append(0, []byte("NEW")); err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		got = append(got, first...)
+		for {
+			chunk, err := sc.NextChunk(4)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, chunk...)
+		}
+		if string(got) != "old-bytes" {
+			t.Errorf("snapshot read %q, want %q", got, "old-bytes")
+		}
+		// ...and is exactly what Tail returns.
+		tail, err := sc.Tail()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(tail) != "NEW" {
+			t.Errorf("Tail = %q, want %q", tail, "NEW")
+		}
+	})
+
+	t.Run("EmptyPartitionScansToEOF", func(t *testing.T) {
+		sp := mk(t)
+		defer sp.Close()
+		sc, err := sp.OpenScan(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		if _, err := sc.NextChunk(0); !errors.Is(err, io.EOF) {
+			t.Errorf("NextChunk on empty partition = %v, want io.EOF", err)
+		}
+		tail, err := sc.Tail()
+		if err != nil || tail != nil {
+			t.Errorf("Tail on empty partition = %q, %v", tail, err)
+		}
+	})
+
+	t.Run("TruncateInvalidatesCursor", func(t *testing.T) {
+		sp := mk(t)
+		defer sp.Close()
+		if err := sp.Append(2, []byte("doomed-partition")); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sp.OpenScan(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		if _, err := sc.NextChunk(4); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Truncate(2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.NextChunk(4); !errors.Is(err, ErrScanTruncated) {
+			t.Errorf("NextChunk after Truncate = %v, want ErrScanTruncated", err)
+		}
+		if _, err := sc.Tail(); !errors.Is(err, ErrScanTruncated) {
+			t.Errorf("Tail after Truncate = %v, want ErrScanTruncated", err)
+		}
+		// A fresh cursor over the re-filled partition works.
+		if err := sp.Append(2, []byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		sc2, err := sp.OpenScan(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc2.Close()
+		chunk, err := sc2.NextChunk(0)
+		if err != nil || string(chunk) != "fresh" {
+			t.Errorf("fresh cursor read %q, %v", chunk, err)
+		}
+	})
+
+	t.Run("ClosedCursorErrors", func(t *testing.T) {
+		sp := mk(t)
+		defer sp.Close()
+		if err := sp.Append(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := sp.OpenScan(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.NextChunk(0); err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("NextChunk on closed cursor = %v, want error", err)
+		}
+	})
+}
+
+func TestMemSpillScan(t *testing.T) {
+	scanSuite(t, func(t *testing.T) SpillStore { return NewMemSpill() })
+}
+
+func TestFileSpillScan(t *testing.T) {
+	scanSuite(t, func(t *testing.T) SpillStore {
+		fs, err := NewFileSpill(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestCachedSpillScan(t *testing.T) {
+	scanSuite(t, func(t *testing.T) SpillStore {
+		return NewCachedSpill(NewMemSpill(), 1<<20)
+	})
+}
+
+func TestCachedSpillScanUncached(t *testing.T) {
+	// The miss path (delegating cursor) must satisfy the same contract.
+	scanSuite(t, func(t *testing.T) SpillStore {
+		return NewCachedSpill(NewMemSpill(), 0)
+	})
+}
+
+func TestScanStatsCounting(t *testing.T) {
+	sp := NewMemSpill()
+	payload := bytes.Repeat([]byte("ab"), 50) // 100 bytes
+	if err := sp.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sp.OpenScan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	for {
+		if _, err := sc.NextChunk(40); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := sp.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 chunks of <=40 bytes: the first pays the seek (ReadOp), the two
+	// continuations are ChunkReads; all bytes are counted.
+	if st.ReadOps != 1 || st.ChunkReads != 2 {
+		t.Errorf("ReadOps=%d ChunkReads=%d, want 1 and 2", st.ReadOps, st.ChunkReads)
+	}
+	if st.BytesRead != 100 {
+		t.Errorf("BytesRead=%d, want 100", st.BytesRead)
+	}
+}
+
+// diskScanAll drains a DiskScan with the given byte budget.
+func diskScanAll(t *testing.T, ds *DiskScan, budget int) []*StoredTuple {
+	t.Helper()
+	var out []*StoredTuple
+	for i := 0; ; i++ {
+		var done bool
+		var err error
+		out, done, err = ds.Next(budget, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return out
+		}
+		if i > 1<<20 {
+			t.Fatal("DiskScan did not terminate")
+		}
+	}
+}
+
+func TestDiskScanMatchesReadDisk(t *testing.T) {
+	st := mkState(t, 4)
+	for i := int64(0); i < 40; i++ {
+		if _, err := st.Insert(tup(t, i, stream.Time(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := st.SpillBucket(i, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		want, err := st.ReadDisk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A 5-byte budget is smaller than any record, forcing the
+		// carry-over reassembly path on every chunk.
+		ds, err := st.OpenDiskScan(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := diskScanAll(t, ds, 5)
+		if err := st.FinishDiskScan(ds, nil, false); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bucket %d: scan read %d tuples, ReadDisk %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].PID != want[j].PID || got[j].DTS != want[j].DTS ||
+				!got[j].T.Values[0].Equal(want[j].T.Values[0]) || got[j].T.Ts != want[j].T.Ts {
+				t.Errorf("bucket %d tuple %d: scan %+v vs ReadDisk %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestOpenDiskScanEmptyBucket(t *testing.T) {
+	st := mkState(t, 4)
+	ds, err := st.OpenDiskScan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds != nil {
+		t.Error("OpenDiskScan on empty bucket should return nil")
+	}
+}
+
+func TestFinishDiskScanRewritePreservesTail(t *testing.T) {
+	st := mkState(t, 1)
+	for i := int64(0); i < 10; i++ {
+		if _, err := st.Insert(tup(t, i, stream.Time(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.SpillBucket(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.OpenDiskScan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := diskScanAll(t, ds, 16)
+	// Concurrent spill while the scan is open: these tuples must survive
+	// the rewrite untouched.
+	for i := int64(100); i < 103; i++ {
+		if _, err := st.Insert(tup(t, i, stream.Time(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.SpillBucket(0, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Keep only even keys from the snapshot.
+	var keep []*StoredTuple
+	for _, s := range all {
+		if k := s.T.Values[0].IntVal(); k%2 == 0 {
+			keep = append(keep, s)
+		}
+	}
+	if err := st.FinishDiskScan(ds, keep, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadDisk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(keep) + 3; len(got) != want {
+		t.Fatalf("after rewrite: %d disk tuples, want %d", len(got), want)
+	}
+	// Snapshot keeps first (in order), then the tail spill.
+	for j, s := range got {
+		k := s.T.Values[0].IntVal()
+		if j < len(keep) {
+			if k%2 != 0 || k >= 100 {
+				t.Errorf("kept tuple %d has key %d", j, k)
+			}
+		} else if k < 100 {
+			t.Errorf("tail tuple %d has key %d, want >= 100", j, k)
+		}
+	}
+	stats := st.Stats()
+	if stats.DiskTuples != len(got) {
+		t.Errorf("accounting DiskTuples=%d, want %d", stats.DiskTuples, len(got))
+	}
+}
+
+func TestFinishDiskScanNoRewriteLeavesDiskAlone(t *testing.T) {
+	st := mkState(t, 1)
+	for i := int64(0); i < 6; i++ {
+		if _, err := st.Insert(tup(t, i, stream.Time(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.SpillBucket(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Stats()
+	ds, err := st.OpenDiskScan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = diskScanAll(t, ds, 32)
+	if err := st.FinishDiskScan(ds, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats() != before {
+		t.Errorf("read-only scan changed accounting: %+v vs %+v", st.Stats(), before)
+	}
+	got, err := st.ReadDisk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("disk holds %d tuples after read-only scan, want 6", len(got))
+	}
+}

@@ -26,6 +26,36 @@ type IOStats struct {
 	ReadOps      int64
 	BytesWritten int64
 	BytesRead    int64
+	// ChunkReads counts sequential continuation reads by scan cursors:
+	// the first chunk of a scan is a ReadOp (it pays the seek), every
+	// later NextChunk/Tail read of the same cursor is a ChunkRead.
+	ChunkReads int64
+}
+
+// ErrScanTruncated is returned by a ScanCursor whose partition was
+// truncated after the cursor was opened: the snapshot it was reading no
+// longer exists, so the scan must be abandoned and restarted.
+var ErrScanTruncated = errors.New("store: partition truncated under scan")
+
+// DefaultScanChunk is the chunk size a ScanCursor uses when NextChunk is
+// given a non-positive budget.
+const DefaultScanChunk = 64 << 10
+
+// ScanCursor reads one partition incrementally. OpenScan fixes the scan's
+// extent at the partition's size at open time, so a cursor is duplicate-
+// safe under concurrent appends: bytes appended after the open are never
+// returned by NextChunk, only by an explicit Tail call. Truncating the
+// partition invalidates the cursor (ErrScanTruncated).
+type ScanCursor interface {
+	// NextChunk returns the next at-most-budget bytes of the snapshot
+	// (DefaultScanChunk if budget <= 0), or io.EOF once the snapshot is
+	// exhausted. The returned slice is owned by the caller.
+	NextChunk(budget int) ([]byte, error)
+	// Tail returns the bytes appended to the partition after the cursor
+	// was opened (nil if none). The returned slice is owned by the caller.
+	Tail() ([]byte, error)
+	// Close releases the cursor. The cursor is unusable afterwards.
+	Close() error
 }
 
 // SpillStore is the secondary-storage abstraction: an append-only byte
@@ -40,6 +70,9 @@ type SpillStore interface {
 	Truncate(partition int) error
 	// Size returns the partition's length in bytes.
 	Size(partition int) (int64, error)
+	// OpenScan returns a cursor over the partition's current contents
+	// (see ScanCursor). Opening counts no I/O; the chunk reads do.
+	OpenScan(partition int) (ScanCursor, error)
 	// Stats returns cumulative I/O counters. Only successful operations
 	// are counted: a failed read or write contributes nothing.
 	Stats() (IOStats, error)
@@ -53,13 +86,14 @@ type SpillStore interface {
 type MemSpill struct {
 	mu    sync.Mutex
 	parts map[int][]byte
+	gens  map[int]uint64 // bumped on Truncate to invalidate open cursors
 	stats IOStats
 	done  bool
 }
 
 // NewMemSpill returns an empty simulated disk.
 func NewMemSpill() *MemSpill {
-	return &MemSpill{parts: make(map[int][]byte)}
+	return &MemSpill{parts: make(map[int][]byte), gens: make(map[int]uint64)}
 }
 
 // Append implements SpillStore.
@@ -98,6 +132,102 @@ func (m *MemSpill) Truncate(partition int) error {
 		return fmt.Errorf("store: truncate on closed MemSpill")
 	}
 	delete(m.parts, partition)
+	m.gens[partition]++
+	return nil
+}
+
+// OpenScan implements SpillStore.
+func (m *MemSpill) OpenScan(partition int) (ScanCursor, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, fmt.Errorf("store: scan on closed MemSpill")
+	}
+	return &memScan{
+		m: m, part: partition,
+		gen: m.gens[partition],
+		end: int64(len(m.parts[partition])),
+	}, nil
+}
+
+// memScan is MemSpill's ScanCursor. All reads happen under the store's
+// mutex, so cursors are safe against concurrent appends and truncates.
+type memScan struct {
+	m       *MemSpill
+	part    int
+	gen     uint64
+	off     int64
+	end     int64 // snapshot extent, fixed at open
+	started bool
+	closed  bool
+}
+
+func (c *memScan) check() error {
+	if c.closed {
+		return fmt.Errorf("store: use of closed scan cursor")
+	}
+	if c.m.done {
+		return fmt.Errorf("store: scan on closed MemSpill")
+	}
+	if c.m.gens[c.part] != c.gen {
+		return ErrScanTruncated
+	}
+	return nil
+}
+
+// NextChunk implements ScanCursor.
+func (c *memScan) NextChunk(budget int) ([]byte, error) {
+	if budget <= 0 {
+		budget = DefaultScanChunk
+	}
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	if c.off >= c.end {
+		return nil, io.EOF
+	}
+	n := c.end - c.off
+	if int64(budget) < n {
+		n = int64(budget)
+	}
+	out := make([]byte, n)
+	copy(out, c.m.parts[c.part][c.off:c.off+n])
+	c.off += n
+	if c.started {
+		c.m.stats.ChunkReads++
+	} else {
+		c.m.stats.ReadOps++
+		c.started = true
+	}
+	c.m.stats.BytesRead += n
+	return out, nil
+}
+
+// Tail implements ScanCursor.
+func (c *memScan) Tail() ([]byte, error) {
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p := c.m.parts[c.part]
+	if int64(len(p)) <= c.end {
+		return nil, nil
+	}
+	out := make([]byte, int64(len(p))-c.end)
+	copy(out, p[c.end:])
+	c.m.stats.ChunkReads++
+	c.m.stats.BytesRead += int64(len(out))
+	return out, nil
+}
+
+// Close implements ScanCursor.
+func (c *memScan) Close() error {
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	c.closed = true
 	return nil
 }
 
@@ -136,6 +266,7 @@ type FileSpill struct {
 	mu    sync.Mutex
 	dir   string
 	files map[int]*os.File
+	gens  map[int]uint64 // bumped on Truncate to invalidate open cursors
 	stats IOStats
 	done  bool
 }
@@ -147,7 +278,7 @@ func NewFileSpill(dir string) (*FileSpill, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: create spill dir: %w", err)
 	}
-	return &FileSpill{dir: d, files: make(map[int]*os.File)}, nil
+	return &FileSpill{dir: d, files: make(map[int]*os.File), gens: make(map[int]uint64)}, nil
 }
 
 // Dir returns the directory holding the partition files.
@@ -242,6 +373,7 @@ func (f *FileSpill) Truncate(partition int) error {
 	if f.done {
 		return fmt.Errorf("store: truncate on closed FileSpill")
 	}
+	f.gens[partition]++
 	fh, ok := f.files[partition]
 	if !ok {
 		return nil
@@ -273,6 +405,136 @@ func (f *FileSpill) Size(partition int) (int64, error) {
 		return 0, fmt.Errorf("store: stat partition %d: %w", partition, err)
 	}
 	return st.Size(), nil
+}
+
+// OpenScan implements SpillStore.
+func (f *FileSpill) OpenScan(partition int) (ScanCursor, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return nil, fmt.Errorf("store: scan on closed FileSpill")
+	}
+	var end int64
+	if fh, ok := f.files[partition]; ok {
+		st, err := fh.Stat()
+		if err != nil {
+			return nil, fmt.Errorf("store: stat partition %d: %w", partition, err)
+		}
+		end = st.Size()
+	}
+	return &fileScan{f: f, part: partition, gen: f.gens[partition], end: end}, nil
+}
+
+// fileScan is FileSpill's ScanCursor, reading with ReadAt at a tracked
+// offset under the store's mutex.
+type fileScan struct {
+	f       *FileSpill
+	part    int
+	gen     uint64
+	off     int64
+	end     int64 // snapshot extent, fixed at open
+	started bool
+	closed  bool
+}
+
+func (c *fileScan) check() error {
+	if c.closed {
+		return fmt.Errorf("store: use of closed scan cursor")
+	}
+	if c.f.done {
+		return fmt.Errorf("store: scan on closed FileSpill")
+	}
+	if c.f.gens[c.part] != c.gen {
+		return ErrScanTruncated
+	}
+	return nil
+}
+
+// readRange reads [off, off+n) of the partition, tolerating io.EOF on a
+// read that ends exactly at end-of-file (same contract as readAt).
+func (c *fileScan) readRange(off, n int64) ([]byte, error) {
+	fh, ok := c.f.files[c.part]
+	if !ok {
+		// The snapshot said there were bytes but the file is gone without
+		// a generation bump; treat it as a truncation race.
+		return nil, ErrScanTruncated
+	}
+	buf := make([]byte, n)
+	rn, err := fh.ReadAt(buf, off)
+	if errors.Is(err, io.EOF) && int64(rn) == n {
+		err = nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: scan partition %d: %w", c.part, err)
+	}
+	return buf, nil
+}
+
+// NextChunk implements ScanCursor.
+func (c *fileScan) NextChunk(budget int) ([]byte, error) {
+	if budget <= 0 {
+		budget = DefaultScanChunk
+	}
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	if c.off >= c.end {
+		return nil, io.EOF
+	}
+	n := c.end - c.off
+	if int64(budget) < n {
+		n = int64(budget)
+	}
+	buf, err := c.readRange(c.off, n)
+	if err != nil {
+		return nil, err
+	}
+	c.off += n
+	if c.started {
+		c.f.stats.ChunkReads++
+	} else {
+		c.f.stats.ReadOps++
+		c.started = true
+	}
+	c.f.stats.BytesRead += n
+	return buf, nil
+}
+
+// Tail implements ScanCursor.
+func (c *fileScan) Tail() ([]byte, error) {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	fh, ok := c.f.files[c.part]
+	if !ok {
+		return nil, nil // never appended to, or snapshot was empty
+	}
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat partition %d: %w", c.part, err)
+	}
+	if st.Size() <= c.end {
+		return nil, nil
+	}
+	buf, err := c.readRange(c.end, st.Size()-c.end)
+	if err != nil {
+		return nil, err
+	}
+	c.f.stats.ChunkReads++
+	c.f.stats.BytesRead += int64(len(buf))
+	return buf, nil
+}
+
+// Close implements ScanCursor.
+func (c *fileScan) Close() error {
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	c.closed = true
+	return nil
 }
 
 // Stats implements SpillStore.

@@ -2,7 +2,9 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"pjoin/internal/punct"
@@ -409,6 +411,117 @@ func (st *State) RewriteDisk(i int, tuples []*StoredTuple) error {
 	return nil
 }
 
+// DiskScan is a resumable cursor over one bucket's on-disk portion: the
+// chunked counterpart of ReadDisk. The scan covers exactly the tuples
+// that were on disk when it opened; tuples spilled afterwards are left
+// alone (FinishDiskScan preserves them through the cursor's tail).
+type DiskScan struct {
+	st         *State
+	i          int
+	cur        ScanCursor
+	carry      []byte // undecoded bytes of a record split across chunks
+	snapTuples int    // DiskTuples when the scan opened
+	read       int
+	eof        bool
+}
+
+// OpenDiskScan opens a chunked scan of bucket i's on-disk portion, or
+// returns nil if the bucket has none.
+func (st *State) OpenDiskScan(i int) (*DiskScan, error) {
+	b := &st.bkts[i]
+	if b.DiskTuples == 0 {
+		return nil, nil
+	}
+	cur, err := st.spill.OpenScan(i)
+	if err != nil {
+		return nil, fmt.Errorf("store: state %s: scan bucket %d: %w", st.name, i, err)
+	}
+	return &DiskScan{st: st, i: i, cur: cur, snapTuples: b.DiskTuples}, nil
+}
+
+// Next reads up to budget more bytes of the snapshot, appends the decoded
+// tuples to dst, and reports whether the scan is exhausted. A record
+// split across the chunk boundary is carried over to the next call.
+func (ds *DiskScan) Next(budget int, dst []*StoredTuple) ([]*StoredTuple, bool, error) {
+	if ds.eof && len(ds.carry) == 0 {
+		return dst, true, nil
+	}
+	if !ds.eof {
+		chunk, err := ds.cur.NextChunk(budget)
+		switch {
+		case errors.Is(err, io.EOF):
+			ds.eof = true
+		case err != nil:
+			return dst, false, fmt.Errorf("store: state %s: scan bucket %d: %w", ds.st.name, ds.i, err)
+		default:
+			ds.carry = append(ds.carry, chunk...)
+		}
+	}
+	consumed := 0
+	for consumed < len(ds.carry) {
+		s, n, err := decodeStored(ds.carry[consumed:])
+		if err != nil {
+			if errors.Is(err, errShortRecord) && !ds.eof {
+				break // retry once the next chunk arrives
+			}
+			return dst, false, fmt.Errorf("store: state %s: decode bucket %d: %w", ds.st.name, ds.i, err)
+		}
+		dst = append(dst, s)
+		ds.read++
+		consumed += n
+	}
+	rest := len(ds.carry) - consumed
+	copy(ds.carry, ds.carry[consumed:])
+	ds.carry = ds.carry[:rest]
+	done := ds.eof && rest == 0
+	if done && ds.read != ds.snapTuples {
+		return dst, false, fmt.Errorf("store: state %s: bucket %d scan read %d tuples, accounting says %d",
+			ds.st.name, ds.i, ds.read, ds.snapTuples)
+	}
+	return dst, done, nil
+}
+
+// FinishDiskScan closes the scan. With rewrite true, the bucket's on-disk
+// portion is replaced by keep plus whatever was spilled after the scan
+// opened (the cursor's tail) — the chunked counterpart of RewriteDisk,
+// safe against appends that raced with the scan.
+func (st *State) FinishDiskScan(ds *DiskScan, keep []*StoredTuple, rewrite bool) error {
+	defer ds.cur.Close()
+	if !rewrite {
+		return nil
+	}
+	b := &st.bkts[ds.i]
+	tail, err := ds.cur.Tail()
+	if err != nil {
+		return fmt.Errorf("store: state %s: scan tail bucket %d: %w", st.name, ds.i, err)
+	}
+	tailTuples := b.DiskTuples - ds.snapTuples
+	if err := st.spill.Truncate(ds.i); err != nil {
+		return fmt.Errorf("store: state %s: truncate bucket %d: %w", st.name, ds.i, err)
+	}
+	st.stats.DiskTuples -= b.DiskTuples
+	st.stats.DiskBytes -= b.DiskBytes
+	b.DiskTuples = 0
+	b.DiskBytes = 0
+	var buf []byte
+	for _, s := range keep {
+		buf = appendStored(buf, s)
+	}
+	buf = append(buf, tail...)
+	if len(buf) == 0 {
+		return nil
+	}
+	if err := st.spill.Append(ds.i, buf); err != nil {
+		return fmt.Errorf("store: state %s: rewrite bucket %d: %w", st.name, ds.i, err)
+	}
+	n := len(keep) + tailTuples
+	b.DiskTuples = n
+	b.DiskBytes = int64(len(buf))
+	st.stats.DiskTuples += n
+	st.stats.DiskBytes += int64(len(buf))
+	return nil
+}
+
 // MemBucketSkew summarises hash-bucket balance: the ratio of the fullest
 // bucket's memory-resident tuple count to the mean over all buckets
 // (1.0 = perfectly uniform, higher = more skewed). Returns 0 for an
@@ -428,28 +541,64 @@ func (st *State) HasDisk(i int) bool { return st.bkts[i].DiskTuples > 0 }
 // AnyDisk reports whether any bucket has an on-disk portion.
 func (st *State) AnyDisk() bool { return st.stats.DiskTuples > 0 }
 
-// appendStored encodes a stored tuple: pid uvarint, DTS 8 bytes, then the
-// tuple encoding.
+// maxStoredRecord bounds a spill record's body length; a longer length
+// prefix means corruption, not a huge tuple.
+const maxStoredRecord = 1 << 30
+
+// errShortRecord reports that a buffer ends before the record it starts
+// does: a chunked scan keeps the bytes and retries once more arrive.
+var errShortRecord = errors.New("store: spill record continues past buffer")
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendStored encodes a stored tuple: a uvarint body length, then the
+// body — pid uvarint, DTS 8 bytes, tuple encoding. The length prefix
+// lets a chunked scan distinguish a record split across chunk boundaries
+// from corruption.
 func appendStored(dst []byte, s *StoredTuple) []byte {
+	body := uvarintLen(uint64(s.PID)) + 8 + s.T.EncodedSize()
+	dst = binary.AppendUvarint(dst, uint64(body))
 	dst = binary.AppendUvarint(dst, uint64(s.PID))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.DTS))
 	return s.T.AppendBinary(dst)
 }
 
 func decodeStored(b []byte) (*StoredTuple, int, error) {
-	pid, sz := binary.Uvarint(b)
-	if sz <= 0 {
+	body, sz := binary.Uvarint(b)
+	if sz == 0 {
+		return nil, 0, errShortRecord
+	}
+	if sz < 0 || body == 0 || body > maxStoredRecord {
+		return nil, 0, fmt.Errorf("bad record length")
+	}
+	if len(b) < sz+int(body) {
+		return nil, 0, errShortRecord
+	}
+	rec := b[sz : sz+int(body)]
+	pid, psz := binary.Uvarint(rec)
+	if psz <= 0 {
 		return nil, 0, fmt.Errorf("bad pid varint")
 	}
-	off := sz
-	if len(b) < off+8 {
+	off := psz
+	if len(rec) < off+8 {
 		return nil, 0, fmt.Errorf("truncated DTS")
 	}
-	dts := stream.Time(binary.LittleEndian.Uint64(b[off:]))
+	dts := stream.Time(binary.LittleEndian.Uint64(rec[off:]))
 	off += 8
-	t, n, err := stream.DecodeTuple(b[off:])
+	t, n, err := stream.DecodeTuple(rec[off:])
 	if err != nil {
 		return nil, 0, err
 	}
-	return &StoredTuple{T: t, PID: punct.PID(pid), DTS: dts}, off + n, nil
+	if off+n != len(rec) {
+		return nil, 0, fmt.Errorf("record length %d does not match contents %d", len(rec), off+n)
+	}
+	return &StoredTuple{T: t, PID: punct.PID(pid), DTS: dts}, sz + int(body), nil
 }

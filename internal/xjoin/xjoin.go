@@ -14,6 +14,7 @@ package xjoin
 
 import (
 	"fmt"
+	"time"
 
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
@@ -42,6 +43,12 @@ type Config struct {
 	// DiskJoinIdle is the reactive disk-join activation threshold: how
 	// long the inputs must stall before a background disk pass runs.
 	DiskJoinIdle stream.Time
+	// DiskChunkBytes, when positive, makes the disk join incremental:
+	// passes run as a resumable background task reading spill data in
+	// chunks of at most this many bytes, stepped once per input item, so
+	// the hot path never stalls for a whole pass. 0 keeps the blocking
+	// pass. See core.Config.DiskChunkBytes.
+	DiskChunkBytes int
 	// DisableStateIndex reverts the join states to the pre-index probe
 	// behaviour (full-bucket scans, examined = occupancy). The paper-
 	// reproduction experiments run in this mode so the simulator prices
@@ -66,6 +73,11 @@ type XJoin struct {
 	// propagates, so its PunctDelay histogram stays empty — the missing
 	// signal is the baseline's story, same as the absent punct-lag gauge.
 	lat *obs.Lat
+
+	// diskTask is the in-flight incremental disk pass (nil when none or
+	// in blocking mode); see core.PJoin.diskTask.
+	diskTask      *joinbase.ChunkPass
+	diskTaskStart time.Time
 
 	now      stream.Time
 	eos      [2]bool
@@ -136,10 +148,7 @@ func New(cfg Config, out op.Emitter) (*XJoin, error) {
 		return x.base.Relocate(e.At+1, x.cfg.MemoryBytes, nil)
 	}}
 	diskJoin := event.ListenerFunc{ID: "disk-join", Fn: func(e event.Event) error {
-		if !x.base.NeedsPass() {
-			return nil
-		}
-		return x.base.DiskPass(e.At, joinbase.PassHooks{})
+		return x.diskPass(e.At)
 	}}
 	if err := reg.Register(event.StateFull, nil, "memory threshold reached", relocate); err != nil {
 		return nil, err
@@ -225,6 +234,63 @@ func (x *XJoin) StateTuples() int {
 	return a.TotalTuples() + b.TotalTuples()
 }
 
+// chunked reports whether the disk join runs incrementally.
+func (x *XJoin) chunked() bool { return x.cfg.DiskChunkBytes > 0 }
+
+// diskPass runs the disk-join stage: the whole blocking pass, or — in
+// chunked mode — one bounded step of the background task.
+func (x *XJoin) diskPass(now stream.Time) error {
+	if x.chunked() {
+		return x.stepDiskTask(now)
+	}
+	if !x.base.NeedsPass() {
+		return nil
+	}
+	start := time.Now()
+	if err := x.base.DiskPass(now, joinbase.PassHooks{}); err != nil {
+		return err
+	}
+	x.lat.RecordDiskPass(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// stepDiskTask advances the incremental disk pass by one bounded step,
+// starting a fresh pass if none is in flight and left-over work exists.
+func (x *XJoin) stepDiskTask(now stream.Time) error {
+	if x.diskTask == nil {
+		if !x.base.NeedsPass() {
+			return nil
+		}
+		x.diskTask = x.base.StartChunkPass(joinbase.PassHooks{}, x.cfg.DiskChunkBytes)
+		x.diskTaskStart = time.Now()
+	}
+	start := time.Now()
+	done, err := x.diskTask.Step(now)
+	if err != nil {
+		x.diskTask = nil
+		return err
+	}
+	if !done {
+		x.lat.RecordDiskChunk(time.Since(start).Nanoseconds())
+		return nil
+	}
+	x.diskTask = nil
+	x.lat.RecordDiskPass(time.Since(x.diskTaskStart).Nanoseconds())
+	return nil
+}
+
+// pumpDisk gives the incremental pass one step of background progress;
+// Process calls it after every input item.
+func (x *XJoin) pumpDisk(now stream.Time) error {
+	if !x.chunked() {
+		return nil
+	}
+	if x.diskTask == nil && !x.base.NeedsPass() {
+		return nil
+	}
+	return x.stepDiskTask(now)
+}
+
 // Process implements op.Operator. Timestamps must be strictly
 // increasing across all items (see core.PJoin.Process).
 func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
@@ -251,12 +317,15 @@ func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
 		if _, err := x.base.States[port].Insert(it.Tuple); err != nil {
 			return err
 		}
-		return x.mon.StateSize(x.base.States[0].MemBytes()+x.base.States[1].MemBytes(), it.Tuple.Ts)
+		if err := x.mon.StateSize(x.base.States[0].MemBytes()+x.base.States[1].MemBytes(), it.Tuple.Ts); err != nil {
+			return err
+		}
+		return x.pumpDisk(x.now)
 	case stream.KindPunct:
 		// No constraint-exploiting mechanism: punctuations are ignored.
 		x.base.M.PunctsIn[port]++
 		x.base.Obs.Event(obs.KindPunctIn, it.Ts, port, 0, 0)
-		return nil
+		return x.pumpDisk(x.now)
 	case stream.KindEOS:
 		if x.eos[port] {
 			return fmt.Errorf("xjoin: duplicate EOS on port %d", port)
@@ -274,6 +343,16 @@ func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
 // OnIdle implements op.Operator: XJoin's reactive background stage.
 func (x *XJoin) OnIdle(now stream.Time) (bool, error) {
 	x.now = max(x.now, now)
+	if x.chunked() {
+		before := x.base.M.DiskChunks
+		if err := x.mon.Idle(x.now); err != nil {
+			return false, err
+		}
+		if err := x.pumpDisk(x.now); err != nil {
+			return false, err
+		}
+		return x.base.M.DiskChunks > before, nil
+	}
 	before := x.base.M.DiskPasses
 	if err := x.mon.Idle(x.now); err != nil {
 		return false, err
@@ -291,10 +370,30 @@ func (x *XJoin) Finish(now stream.Time) error {
 		return fmt.Errorf("xjoin: Finish before EOS on both ports")
 	}
 	x.now = max(x.now, now)
-	if x.base.NeedsPass() {
+	if x.chunked() {
+		// Drain the in-flight pass, then run one final pass to
+		// completion — the same single pass the blocking path runs.
+		for x.diskTask != nil {
+			if err := x.stepDiskTask(x.now); err != nil {
+				return err
+			}
+		}
+		if x.base.NeedsPass() {
+			if err := x.stepDiskTask(x.now); err != nil {
+				return err
+			}
+			for x.diskTask != nil {
+				if err := x.stepDiskTask(x.now); err != nil {
+					return err
+				}
+			}
+		}
+	} else if x.base.NeedsPass() {
+		start := time.Now()
 		if err := x.base.DiskPass(x.now, joinbase.PassHooks{}); err != nil {
 			return err
 		}
+		x.lat.RecordDiskPass(time.Since(start).Nanoseconds())
 	}
 	x.finished = true
 	if lv := x.cfg.Instr.Live(); lv != nil {
