@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-alloc bench-scaling flight-sample
+.PHONY: build test vet race check oracle fuzz bench bench-alloc bench-scaling flight-sample
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,22 @@ race:
 	$(GO) test -race ./...
 
 check: build vet race
+
+# Differential oracle soak: ORACLE_SEEDS seeded scenarios, each run
+# through the full operator configuration matrix (PJoin/XJoin x index x
+# chunked passes x shards x spill cache x fault injection) against the
+# brute-force shj oracle and each other. Failures auto-shrink to a
+# one-line replay spec (feed it to `pjoinbench -oracle-replay`). See
+# DESIGN.md §11.
+ORACLE_SEEDS ?= 200
+oracle:
+	ORACLE_SEEDS=$(ORACLE_SEEDS) $(GO) test ./internal/oracle/ -run TestSoak -count=1 -timeout 600s -v
+
+# Short coverage-guided fuzz of the oracle's scenario decoder + a
+# mechanism-diverse variant slice. Corpus under
+# internal/oracle/testdata/fuzz; crashes land there as pinned inputs.
+fuzz:
+	$(GO) test ./internal/oracle/ -run='^$$' -fuzz FuzzOracle -fuzztime 60s
 
 # Performance summaries. BENCH_3.json: store-level probe
 # micro-benchmarks plus every simulated experiment's ns/op, allocs/op

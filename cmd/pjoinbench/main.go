@@ -59,8 +59,27 @@ func main() {
 
 		chunkKB = flag.Int("disk-chunk-kb", 0, "run disk passes incrementally with this per-step read budget in KiB (0 = blocking)")
 		cacheMB = flag.Int("spill-cache-mb", 0, "wrap spill stores in an LRU block cache of this many MiB (0 = no cache)")
+
+		oracleN      = flag.Int("oracle", 0, "differential oracle soak: check this many seeds (starting at -seed) across the full config matrix")
+		oracleOut    = flag.String("oracle-out", "", "oracle: write minimized replay specs of failing seeds to this file (CI failure artifact)")
+		oracleReplay = flag.String("oracle-replay", "", "replay one minimized oracle spec, e.g. \"seed=42 variant=pjoin/idx/shards=2 check=puncts prefix=107 drop=3,9\"")
 	)
 	flag.Parse()
+
+	if *oracleReplay != "" {
+		if err := runOracleReplay(*oracleReplay, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *oracleN > 0 {
+		if err := runOracle(*oracleN, *seed, *oracleOut, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *flight != "" {
 		out, err := bench.RunFlight(*flight)

@@ -82,6 +82,17 @@ func main() {
 		log.Fatalf("generated workload failed validation: %v", err)
 	}
 
+	// Header: a comment line (skipped by stream.ReadItems) recording the
+	// exact generation parameters, so a stream file on disk names the
+	// seed that regenerates it.
+	header := fmt.Sprintf("# pjoingen kind=%s seed=%d", *kind, *seed)
+	switch *kind {
+	case "synthetic":
+		header += fmt.Sprintf(" duration-ms=%d punct-a=%g punct-b=%g", *durMs, *pa, *pb)
+	case "auction":
+		header += fmt.Sprintf(" items=%d", *items)
+	}
+
 	var sides [2][]stream.Item
 	for _, a := range arrs {
 		sides[a.Port] = append(sides[a.Port], a.Item)
@@ -89,6 +100,9 @@ func main() {
 	for i, path := range []string{*outA, *outB} {
 		f, err := os.Create(path)
 		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := fmt.Fprintf(f, "%s side=%s\n", header, []string{"a", "b"}[i]); err != nil {
 			log.Fatal(err)
 		}
 		if err := stream.WriteItems(f, sides[i]); err != nil {

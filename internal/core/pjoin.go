@@ -811,6 +811,17 @@ func (j *PJoin) propagate(now stream.Time) error {
 		}
 	}
 	for s := 0; s < 2; s++ {
+		// A disk-pending mark claims the entry's match count may miss
+		// disk-resident side-s tuples. With no disk on side s such
+		// misses cannot exist (passes rewrite kept tuples to disk, never
+		// back to memory), so the marks are stale — drop them. Without
+		// this, an entry index-built mid-pass (pid above the running
+		// pass's pendBound snapshot) stays marked when that very pass
+		// drains the disk: NeedsPass goes false, no pass ever runs
+		// again, and the entry would never release — not even at Finish.
+		if len(j.diskPending[s]) > 0 && !j.base.States[s].AnyDisk() {
+			j.diskPending[s] = make(map[punct.PID]bool)
+		}
 		for _, e := range j.psets[s].Propagable() {
 			if j.diskPending[s][e.PID] {
 				continue
@@ -1079,6 +1090,43 @@ func (j *PJoin) Finish(now stream.Time) error {
 		return fmt.Errorf("core: pjoin: Finish before EOS on both ports")
 	}
 	j.now = maxTime(j.now, now)
+	if !j.cfg.DisablePurge && j.cfg.RetainPropagated {
+		// One last purge run per side before the final disk pass: the
+		// lazy purge threshold may not have fired since the last
+		// punctuations arrived, leaving purgeable tuples in memory and
+		// their punctuations' match counts above zero. Without this the
+		// set propagated below depends on whether memory pressure
+		// happened to relocate those tuples to disk (where the final
+		// pass purges them) — i.e. on thresholds, not on stream
+		// content. The differential oracle holds the propagated
+		// multiset schedule-independent across the config matrix.
+		//
+		// Gated on RetainPropagated: only a retained set has
+		// schedule-independent purge power (see the Config comment).
+		// With removal-on-propagation, an entry whose own-side state
+		// is already clean propagates — and vanishes — the moment it
+		// arrives, before any purge can apply it to the opposite
+		// state, and *when* that happens differs between blocking and
+		// deferred (chunked) schedules; a final purge would amplify
+		// that difference into divergent propagation at Finish.
+		for victim := 0; victim < 2; victim++ {
+			if err := j.purgeState(victim, j.now); err != nil {
+				return err
+			}
+		}
+	}
+	if !j.cfg.DisablePropagation {
+		// Index punctuations that arrived since the last build BEFORE
+		// the final pass: the pass completes their match counts over the
+		// disk-resident portion and its completion clears their
+		// disk-pending marks. Indexing after the pass would leave fresh
+		// entries marked pending with no pass left to run, so the
+		// release below would skip them — while a schedule whose pass
+		// happened to start later releases them (caught by the
+		// differential oracle as a blocking/chunked divergence).
+		j.indexBuild(0)
+		j.indexBuild(1)
+	}
 	if j.chunked() {
 		// Complete any in-flight incremental pass, then run one final
 		// pass to completion — the same single pass the blocking path
@@ -1098,8 +1146,6 @@ func (j *PJoin) Finish(now stream.Time) error {
 		return err
 	}
 	if !j.cfg.DisablePropagation {
-		j.indexBuild(0)
-		j.indexBuild(1)
 		if err := j.propagate(j.now); err != nil {
 			return err
 		}

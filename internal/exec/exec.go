@@ -73,6 +73,12 @@ type Pipeline struct {
 	// disables observability. Set before Run.
 	Obs *obs.Instr
 
+	// Clock returns the elapsed offset since pipeline start used for
+	// restamping and for idle/pull timestamps. nil (the default) reads
+	// the wall clock; tests inject a fake to pin timing-dependent
+	// behaviour. Set before Run.
+	Clock func() time.Duration
+
 	launched []func()
 	pulls    map[op.Operator]*PullHandle
 }
@@ -94,6 +100,29 @@ func (p *Pipeline) Edge() *Edge {
 		n = 256
 	}
 	return &Edge{p: p, ch: make(chan stream.Item, n)}
+}
+
+// elapsed is the offset since pipeline start on the configured clock.
+func (p *Pipeline) elapsed() time.Duration {
+	if p.Clock != nil {
+		return p.Clock()
+	}
+	return time.Since(p.start)
+}
+
+// sysNow converts the clock offset into the operator's time domain:
+// never at or below lastTs, the timestamp of the last item the operator
+// processed. Every timestamp handed to an operator — item restamps,
+// OnIdle pulses, pull-mode propagation — must come through this clamp;
+// feeding raw wall-clock to OnIdle while items carry clamped timestamps
+// would let the operator's clock run backwards whenever restamping had
+// pushed item times ahead of the wall.
+func (p *Pipeline) sysNow(lastTs stream.Time) stream.Time {
+	now := stream.Time(p.elapsed())
+	if now <= lastTs {
+		now = lastTs + 1
+	}
+	return now
 }
 
 func (p *Pipeline) fail(err error) {
@@ -240,15 +269,12 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 	go func() {
 		defer p.wg.Done()
 		oin := p.Obs.Derive(o.Name(), -1)
-		oin.Event(obs.KindOpStart, stream.Time(time.Since(p.start)), -1, 0, 0)
+		oin.Event(obs.KindOpStart, stream.Time(p.elapsed()), -1, 0, 0)
 		var lastTs stream.Time
 		// stamp assigns the system arrival timestamp: strictly
 		// increasing, at least the wall-clock offset since start.
 		stamp := func(it stream.Item) stream.Item {
-			ts := stream.Time(time.Since(p.start))
-			if ts <= lastTs {
-				ts = lastTs + 1
-			}
+			ts := p.sysNow(lastTs)
 			lastTs = ts
 			switch it.Kind {
 			case stream.KindTuple:
@@ -309,16 +335,12 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 				if !ok {
 					break // requests to non-pullers are ignored
 				}
-				now := stream.Time(time.Since(p.start))
-				if now <= lastTs {
-					now = lastTs + 1
-				}
-				if err := pp.RequestPropagation(now); err != nil {
+				if err := pp.RequestPropagation(p.sysNow(lastTs)); err != nil {
 					p.fail(fmt.Errorf("exec: %s pull: %w", o.Name(), err))
 					return
 				}
 			case <-idleC:
-				if _, err := o.OnIdle(stream.Time(time.Since(p.start))); err != nil {
+				if _, err := o.OnIdle(p.sysNow(lastTs)); err != nil {
 					p.fail(fmt.Errorf("exec: %s idle: %w", o.Name(), err))
 					return
 				}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -463,5 +464,107 @@ func TestShardedPullPropagation(t *testing.T) {
 	}
 	if got := len(sink.Puncts()); got != 2 {
 		t.Errorf("propagated punctuations = %d, want 2", got)
+	}
+}
+
+// clockAudit records every timestamp an operator is handed, tagged by
+// which entry point delivered it, so tests can assert the executor
+// keeps one monotone time domain across Process, OnIdle and Finish.
+type clockAudit struct {
+	mu    sync.Mutex
+	calls []struct {
+		kind string // "process", "idle", "finish"
+		now  stream.Time
+	}
+	out op.Emitter
+}
+
+func (c *clockAudit) record(kind string, now stream.Time) {
+	c.mu.Lock()
+	c.calls = append(c.calls, struct {
+		kind string
+		now  stream.Time
+	}{kind, now})
+	c.mu.Unlock()
+}
+
+func (c *clockAudit) Name() string              { return "clock-audit" }
+func (c *clockAudit) NumPorts() int             { return 1 }
+func (c *clockAudit) OutSchema() *stream.Schema { return gen.SchemaA }
+
+func (c *clockAudit) Process(port int, it stream.Item, now stream.Time) error {
+	c.record("process", now)
+	return nil
+}
+
+func (c *clockAudit) OnIdle(now stream.Time) (bool, error) {
+	c.record("idle", now)
+	return false, nil
+}
+
+func (c *clockAudit) Finish(now stream.Time) error {
+	c.record("finish", now)
+	return c.out.Emit(stream.EOSItem(now))
+}
+
+// TestOnIdleClockNeverRunsBackwards pins the executor's time-domain
+// contract: OnIdle pulses use the same clamped clock as item restamping,
+// so an operator never observes time moving backwards between a Process
+// call and a following idle pulse. A frozen injected clock makes the
+// hazard deterministic: restamping pushes item timestamps ahead of the
+// wall (the strictly-increasing bump), and an unclamped idle pulse would
+// then deliver wall-clock zero — i.e. the past.
+func TestOnIdleClockNeverRunsBackwards(t *testing.T) {
+	p := NewPipeline()
+	p.Clock = func() time.Duration { return 0 } // wall frozen at start
+	p.IdlePoll = time.Millisecond
+	src, out := p.Edge(), p.Edge()
+	audit := &clockAudit{out: out}
+
+	// Feed a burst, stall long enough for idle pulses, then EOS. With
+	// the clock frozen, every item restamp rides the +1 bump, so item
+	// timestamps (1, 2, 3, ...) run ahead of the reported wall time (0).
+	p.launched = append(p.launched, func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer close(src.ch)
+			for _, it := range items(t, 5) {
+				if src.Emit(it) != nil {
+					return
+				}
+			}
+			time.Sleep(20 * time.Millisecond) // let idle pulses fire
+			src.Emit(stream.EOSItem(0))
+		}()
+	})
+	if err := p.Spawn(audit, src); err != nil {
+		t.Fatal(err)
+	}
+	p.Sink(out)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	audit.mu.Lock()
+	defer audit.mu.Unlock()
+	var idles int
+	var last stream.Time
+	var lastKind string
+	for i, call := range audit.calls {
+		if call.kind == "idle" {
+			idles++
+		}
+		if call.now < last {
+			t.Fatalf("call %d: %s at t=%d after %s at t=%d — operator clock ran backwards",
+				i, call.kind, call.now, lastKind, last)
+		}
+		last, lastKind = call.now, call.kind
+	}
+	if idles == 0 {
+		t.Skip("no idle pulse fired during the stall window; nothing to check")
+	}
+	if audit.calls[len(audit.calls)-1].kind != "finish" {
+		t.Fatalf("last call = %q, want finish", audit.calls[len(audit.calls)-1].kind)
 	}
 }

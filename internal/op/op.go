@@ -68,6 +68,34 @@ func (c *Collector) Reset() { c.Items = nil }
 // Operator is a stream query operator with one or more input ports.
 // Implementations must be safe for single-goroutine use; the executor
 // serialises calls.
+//
+// # Driver contract
+//
+// Every driver (the live executor, the simulator, the differential
+// oracle's replay driver) holds every operator to the same lifecycle,
+// and every operator — stateless relational ops and all four joins
+// (shj, core.PJoin, xjoin, parallel.ShardedPJoin) — enforces it with
+// errors rather than undefined behaviour:
+//
+//  1. Process delivers items with non-decreasing now across ALL ports;
+//     an operator may clamp its internal clock to max(now seen).
+//  2. EOS arrives exactly once per port (duplicate EOS is an error) and
+//     is the last item on its port.
+//  3. Finish is called exactly once, only after every port saw EOS
+//     (early or double Finish is an error), with now at least the last
+//     Process time. Finish flushes remaining state and emits exactly
+//     one downstream EOS — operators never emit EOS from Process.
+//  4. Process and OnIdle after Finish are errors.
+//  5. OnIdle may be called at any point before Finish with the same
+//     non-decreasing now domain as Process (the executor clamps idle
+//     pulses so an operator's clock never runs backwards).
+//
+// Operators differ in what Finish means — shj ignores punctuations and
+// just emits EOS; PJoin runs a final purge/disk pass and propagates
+// what became propagable; xjoin drains its cleanup queue — but the
+// observable lifecycle above is identical, which is what lets the
+// differential oracle drive every configuration through one driver and
+// compare outcomes. internal/oracle's contract test pins this.
 type Operator interface {
 	// Name identifies the operator instance in plans and errors.
 	Name() string

@@ -1,0 +1,236 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pjoin/internal/joinbase"
+	"pjoin/internal/obs"
+	"pjoin/internal/op"
+	"pjoin/internal/stream"
+)
+
+// lockedCollector is an op.Emitter safe for concurrent emission
+// (ShardedPJoin's merger emits from shard goroutines).
+type lockedCollector struct {
+	mu    sync.Mutex
+	items []stream.Item
+}
+
+func (c *lockedCollector) Emit(it stream.Item) error {
+	c.mu.Lock()
+	c.items = append(c.items, it)
+	c.mu.Unlock()
+	return nil
+}
+
+// Outcome is one run's audited output: the result-tuple multiset
+// (keyed by full rendering — values and timestamp, both deterministic
+// because a result's timestamp is the max of its constituents'), the
+// propagated-punctuation multiset (keyed by pattern only — propagation
+// *time* legitimately differs across schedules), emission order
+// bookkeeping, and the operator's own accounting.
+type Outcome struct {
+	Tuples map[string]int
+	Puncts map[string]int
+	EOS    int
+
+	Metrics joinbase.Metrics
+	Lat     obs.LatSnapshot
+	HasObs  bool // shj exposes no Metrics/Latencies
+
+	// Fed counts what the driver actually delivered, for reconciliation
+	// against the operator's Metrics.
+	FedTuples [2]int64
+	FedPuncts [2]int64
+
+	Err error // first operator error (faulted runs: must be ErrInjectedFault)
+}
+
+func summarize(items []stream.Item) (tuples, puncts map[string]int, eos int) {
+	tuples, puncts = map[string]int{}, map[string]int{}
+	for _, it := range items {
+		switch it.Kind {
+		case stream.KindTuple:
+			tuples[it.Tuple.String()]++
+		case stream.KindPunct:
+			puncts[it.Punct.String()]++
+		case stream.KindEOS:
+			eos++
+		}
+	}
+	return
+}
+
+// Run drives the variant over the scenario and returns the audited
+// outcome. disableFault reruns a faulted variant with injection off
+// (the recovery half of the fault check).
+func Run(sc *Scenario, v Variant, disableFault bool) *Outcome {
+	sink := &lockedCollector{}
+	j, err := build(sc, v, sink, disableFault)
+	if err != nil {
+		return &Outcome{Err: err}
+	}
+	out := drive(j, sc)
+	out.Tuples, out.Puncts, out.EOS = summarize(sink.items)
+	if jj, ok := j.(joinOp); ok {
+		out.Metrics = jj.Metrics()
+		out.Lat = jj.Latencies()
+		out.HasObs = true
+	}
+	return out
+}
+
+// RunOracle drives the brute-force shj join over the scenario.
+func RunOracle(sc *Scenario) *Outcome {
+	sink := &lockedCollector{}
+	j, err := buildOracle(sink)
+	if err != nil {
+		return &Outcome{Err: err}
+	}
+	out := drive(j, sc)
+	out.Tuples, out.Puncts, out.EOS = summarize(sink.items)
+	return out
+}
+
+// drive runs the shared schedule: every arrival at its own timestamp,
+// deterministic OnIdle pulses every IdleEvery arrivals (so the
+// reactive disk join and chunk pump run identically across variants),
+// EOS appended for any port the schedule left open (the shrinker cuts
+// prefixes), then Finish. All operators are held to the same contract
+// (documented in internal/op): items in timestamp order, EOS once per
+// port, Finish only after EOS on both ports.
+func drive(j op.Operator, sc *Scenario) *Outcome {
+	out := &Outcome{}
+	var last stream.Time
+	var eos [2]bool
+	fail := func(err error) *Outcome { out.Err = err; return out }
+	for i, a := range sc.Arrivals {
+		if sc.IdleEvery > 0 && i%sc.IdleEvery == sc.IdleEvery-1 && a.Item.Ts > last+1 {
+			if _, err := j.OnIdle(a.Item.Ts - 1); err != nil {
+				return fail(fmt.Errorf("OnIdle before arrival %d: %w", i, err))
+			}
+		}
+		if err := j.Process(a.Port, a.Item, a.Item.Ts); err != nil {
+			return fail(fmt.Errorf("arrival %d (%v): %w", i, a.Item.Kind, err))
+		}
+		last = a.Item.Ts
+		switch a.Item.Kind {
+		case stream.KindTuple:
+			out.FedTuples[a.Port]++
+		case stream.KindPunct:
+			out.FedPuncts[a.Port]++
+		case stream.KindEOS:
+			eos[a.Port] = true
+		}
+	}
+	for port := 0; port < 2; port++ {
+		if eos[port] {
+			continue
+		}
+		last++
+		if err := j.Process(port, stream.EOSItem(last), last); err != nil {
+			return fail(fmt.Errorf("EOS port %d: %w", port, err))
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		return fail(fmt.Errorf("Finish: %w", err))
+	}
+	return out
+}
+
+// Divergence is one failed check from a comparison.
+type Divergence struct {
+	Variant Variant
+	Check   string // "results", "puncts", "obs", "error", "fault"
+	Detail  string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("[%s] %s: %s", d.Variant, d.Check, d.Detail)
+}
+
+func diffMultisets(a, b map[string]int) string {
+	var keys []string
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var d []string
+	for _, k := range keys {
+		if a[k] != b[k] {
+			d = append(d, fmt.Sprintf("%s: got %d want %d", k, a[k], b[k]))
+		}
+	}
+	if len(d) > 8 {
+		d = append(d[:8], fmt.Sprintf("... and %d more", len(d)-8))
+	}
+	return strings.Join(d, "; ")
+}
+
+// checkObs reconciles the operator's own accounting against the
+// driver's ground truth and the latency histograms against the work
+// counters. A mismatch means the observability layer is lying about
+// the work done — the same class of bug as a wrong result, for anyone
+// operating the system off its metrics.
+func checkObs(v Variant, out *Outcome) []Divergence {
+	if !out.HasObs {
+		return nil
+	}
+	var ds []Divergence
+	bad := func(f string, args ...any) {
+		ds = append(ds, Divergence{Variant: v, Check: "obs", Detail: fmt.Sprintf(f, args...)})
+	}
+	m := out.Metrics
+	for p := 0; p < 2; p++ {
+		if m.TuplesIn[p] != out.FedTuples[p] {
+			bad("TuplesIn[%d]=%d, driver fed %d", p, m.TuplesIn[p], out.FedTuples[p])
+		}
+	}
+	var emitted int64
+	for _, n := range out.Tuples {
+		emitted += int64(n)
+	}
+	if m.TuplesOut != emitted {
+		bad("TuplesOut=%d, sink saw %d", m.TuplesOut, emitted)
+	}
+	var punctsOut int64
+	for _, n := range out.Puncts {
+		punctsOut += int64(n)
+	}
+	if v.Op == "pjoin" && m.PunctsOut != punctsOut {
+		bad("PunctsOut=%d, sink saw %d", m.PunctsOut, punctsOut)
+	}
+	// PunctsIn: the sharded router broadcasts every punctuation to all
+	// shards and Metrics() normalises by /shards, so both shapes must
+	// equal the fed count.
+	for p := 0; p < 2; p++ {
+		if v.Op == "pjoin" && m.PunctsIn[p] != out.FedPuncts[p] {
+			bad("PunctsIn[%d]=%d, driver fed %d", p, m.PunctsIn[p], out.FedPuncts[p])
+		}
+	}
+	// Histogram/counter reconciliation: every emitted result, propagated
+	// punctuation, disk chunk and disk pass records exactly one sample.
+	if got := out.Lat.Result.Count; got != m.TuplesOut {
+		bad("Lat.Result.Count=%d, Metrics.TuplesOut=%d", got, m.TuplesOut)
+	}
+	if v.Op == "pjoin" {
+		if got := out.Lat.PunctDelay.Count; got != m.PunctsOut {
+			bad("Lat.PunctDelay.Count=%d, Metrics.PunctsOut=%d", got, m.PunctsOut)
+		}
+	}
+	if got := out.Lat.DiskChunk.Count; got != m.DiskChunks {
+		bad("Lat.DiskChunk.Count=%d, Metrics.DiskChunks=%d", got, m.DiskChunks)
+	}
+	if got := out.Lat.DiskPass.Count; got != m.DiskPasses {
+		bad("Lat.DiskPass.Count=%d, Metrics.DiskPasses=%d", got, m.DiskPasses)
+	}
+	return ds
+}

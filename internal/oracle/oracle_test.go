@@ -1,0 +1,212 @@
+package oracle
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// soakSeeds is how many seeds TestSoak checks. `make oracle` raises it
+// via the ORACLE_SEEDS environment variable (200 by default there);
+// plain `go test ./...` keeps a smaller always-on allotment so the
+// differential harness runs on every test invocation.
+func soakSeeds(t *testing.T) int {
+	if s := os.Getenv("ORACLE_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad ORACLE_SEEDS=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 8
+	}
+	return 32
+}
+
+// TestSoak is the differential soak: seeded scenarios, every matrix
+// variant, shrunk-on-failure. A failure prints the minimized replay
+// spec — feed it to `pjoinbench -oracle-replay` or Spec.Replay.
+func TestSoak(t *testing.T) {
+	n := soakSeeds(t)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed []string
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed := next.Add(1)
+				if seed > int64(n) {
+					return
+				}
+				ds := CheckSeed(uint64(seed))
+				if len(ds) == 0 {
+					continue
+				}
+				spec := Shrink(uint64(seed), ds[0])
+				mu.Lock()
+				failed = append(failed, "replay spec: "+spec.String()+"\n"+Report(ds))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, f := range failed {
+		t.Error(f)
+	}
+}
+
+// TestRegressionSeeds pins the minimized replay specs of bugs the
+// oracle found, so each stays fixed. Each spec must replay clean.
+//
+//   - seed 4 (sharded PunctDelay undercount): duplicate punctuation
+//     patterns in flight through ShardedPJoin's merger shared one
+//     alignment entry; completing the first deleted the entry and the
+//     second forwarded untracked, so Lat.PunctDelay.Count fell short of
+//     Metrics.PunctsOut. Fixed with an arrival-time FIFO per pattern.
+//   - seed 42 (Finish-time purge gap): a punctuation whose matching
+//     state happened to be memory-resident at Finish was never purged —
+//     single-instance runs relocated the state to disk (purged by the
+//     final pass) while sharded runs kept it in memory, so they
+//     propagated different sets. Fixed by a final memory purge in
+//     Finish (under RetainPropagated).
+//
+// The third bug of the burn-down — removal-on-propagation making the
+// final purge schedule-dependent without RetainPropagated — is pinned
+// by internal/core's TestChunkedBlockingEquivalence.
+func TestRegressionSeeds(t *testing.T) {
+	specs := []string{
+		"seed=4 variant=pjoin/idx/shards=2 check=obs",
+		"seed=4 variant=pjoin/idx/chunk=512/shards=4/cache check=obs",
+		"seed=42 variant=pjoin/idx/shards=2 check=puncts",
+		"seed=42 variant=pjoin/idx/shards=2 check=puncts prefix=107 " +
+			"drop=0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24," +
+			"25,26,27,28,29,30,31,32,33,34,35,36,37,38,66,67,68,69,70,71,84,85,87," +
+			"88,89,90,91,92,93,94,95,96,97,98,103",
+	}
+	for _, raw := range specs {
+		spec, err := ParseSpec(raw)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", raw, err)
+		}
+		if ds := spec.Replay(); len(ds) != 0 {
+			t.Errorf("pinned spec %q regressed:\n%s", raw, Report(ds))
+		}
+	}
+}
+
+// TestGeneratorInvariants: every decoded scenario must satisfy its own
+// invariants (honesty, nested-or-disjoint, increasing timestamps) —
+// cheap to check densely since no operators run.
+func TestGeneratorInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 300; seed++ {
+		sc := FromSeed(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := len(sc.Arrivals); got < 10 {
+			t.Fatalf("seed %d: only %d arrivals", seed, got)
+		}
+	}
+	// Byte-steered decoding obeys the same invariants.
+	if err := FromBytes([]byte("adversarial entropy bytes \x00\xff\x80")).Validate(); err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	vs := Matrix()
+	if len(vs) != 96 {
+		t.Fatalf("matrix rows = %d, want 96", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		s := v.String()
+		if seen[s] {
+			t.Fatalf("duplicate matrix row %s", s)
+		}
+		seen[s] = true
+		back, err := ParseVariant(s)
+		if err != nil {
+			t.Fatalf("ParseVariant(%s): %v", s, err)
+		}
+		if back != v {
+			t.Fatalf("variant round-trip: %s -> %+v, want %+v", s, back, v)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Seed: 42, Variant: RefVariant, Check: "puncts", Prefix: -1},
+		{Seed: 7, Variant: Variant{Op: "pjoin", Chunk: 512, Shards: 4, Cache: true, Fault: true},
+			Check: "results", Prefix: 57, Drop: []int{3, 9, 14}},
+	}
+	for _, s := range specs {
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("spec round-trip: %q -> %+v, want %+v", s.String(), back, s)
+		}
+	}
+	if _, err := ParseSpec("seed=x"); err == nil {
+		t.Error("bad seed accepted")
+	}
+	if _, err := ParseSpec("variant=nope"); err == nil {
+		t.Error("bad variant accepted")
+	}
+}
+
+// TestShrinkMinimizes drives the shrinker core with a synthetic
+// predicate — "the failure needs arrivals 10 and 20 both present" —
+// and requires it to find exactly that minimum: prefix 21, everything
+// else dropped.
+func TestShrinkMinimizes(t *testing.T) {
+	d := Divergence{Variant: RefVariant, Check: "results"}
+	calls := 0
+	spec := shrinkWith(99, d, 200, func(prefix int, drop []int) bool {
+		calls++
+		if prefix < 0 {
+			prefix = 200
+		}
+		alive := func(i int) bool {
+			if i >= prefix {
+				return false
+			}
+			for _, dr := range drop {
+				if dr == i {
+					return false
+				}
+			}
+			return true
+		}
+		return alive(10) && alive(20)
+	})
+	if spec.Prefix != 21 {
+		t.Fatalf("shrunk prefix = %d, want 21", spec.Prefix)
+	}
+	if got := spec.Prefix - len(spec.Drop); got != 2 {
+		t.Fatalf("kept %d arrivals, want 2 (spec %s)", got, spec)
+	}
+	for _, dr := range spec.Drop {
+		if dr == 10 || dr == 20 {
+			t.Fatalf("dropped a required arrival: %s", spec)
+		}
+	}
+	if calls > 600 {
+		t.Fatalf("shrinker used %d predicate calls for n=200", calls)
+	}
+	// A non-reproducing divergence comes back unshrunk with the seed pinned.
+	unshrunk := shrinkWith(7, d, 50, func(int, []int) bool { return false })
+	if unshrunk.Prefix != -1 || unshrunk.Drop != nil || unshrunk.Seed != 7 {
+		t.Fatalf("non-reproducing shrink = %+v", unshrunk)
+	}
+}

@@ -1,0 +1,217 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pjoin/internal/core"
+	"pjoin/internal/event"
+	"pjoin/internal/gen"
+	"pjoin/internal/joinbase"
+	"pjoin/internal/obs"
+	"pjoin/internal/op"
+	"pjoin/internal/parallel"
+	"pjoin/internal/shj"
+	"pjoin/internal/store"
+	"pjoin/internal/xjoin"
+)
+
+// ErrInjectedFault is the sentinel injected by faulted variants' spill
+// stores. A faulted run must either never hit it (the scenario spilled
+// too little) or surface exactly it — any other error, or silent
+// swallowing, is a bug in the operator's spill error handling.
+var ErrInjectedFault = errors.New("oracle: injected spill fault")
+
+// Variant is one operator configuration in the differential matrix.
+type Variant struct {
+	Op     string // "pjoin" or "xjoin"
+	Index  bool   // key-grouped state index on (off = scan fallback)
+	Chunk  int    // DiskChunkBytes: 0 blocking, else incremental passes
+	Shards int    // 1 = single instance; >1 = parallel.ShardedPJoin (pjoin only)
+	Cache  bool   // wrap spills in store.CachedSpill
+	Fault  bool   // wrap spills in store.NewFaultSpill(failAt = Scenario.FaultAt)
+}
+
+// String renders the variant in the replay-spec grammar, e.g.
+// "pjoin/idx/chunk=512/shards=2/cache" (flags omitted when off).
+func (v Variant) String() string {
+	parts := []string{v.Op}
+	if v.Index {
+		parts = append(parts, "idx")
+	}
+	if v.Chunk > 0 {
+		parts = append(parts, "chunk="+strconv.Itoa(v.Chunk))
+	}
+	if v.Shards > 1 {
+		parts = append(parts, "shards="+strconv.Itoa(v.Shards))
+	}
+	if v.Cache {
+		parts = append(parts, "cache")
+	}
+	if v.Fault {
+		parts = append(parts, "fault")
+	}
+	return strings.Join(parts, "/")
+}
+
+// ParseVariant is the inverse of Variant.String.
+func ParseVariant(s string) (Variant, error) {
+	var v Variant
+	parts := strings.Split(s, "/")
+	if len(parts) == 0 || (parts[0] != "pjoin" && parts[0] != "xjoin") {
+		return v, fmt.Errorf("oracle: bad variant %q (want pjoin/... or xjoin/...)", s)
+	}
+	v.Op = parts[0]
+	v.Shards = 1
+	for _, p := range parts[1:] {
+		switch {
+		case p == "idx":
+			v.Index = true
+		case p == "cache":
+			v.Cache = true
+		case p == "fault":
+			v.Fault = true
+		case strings.HasPrefix(p, "chunk="):
+			n, err := strconv.Atoi(p[len("chunk="):])
+			if err != nil || n < 0 {
+				return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
+			}
+			v.Chunk = n
+		case strings.HasPrefix(p, "shards="):
+			n, err := strconv.Atoi(p[len("shards="):])
+			if err != nil || n < 1 {
+				return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
+			}
+			v.Shards = n
+		default:
+			return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
+		}
+	}
+	return v, nil
+}
+
+// Matrix returns the full configuration matrix the tentpole names:
+// PJoin × {index on/off} × {DiskChunkBytes ∈ {0, small, large}} ×
+// {1,2,4 shards} × {CachedSpill on/off} × {FaultSpill off/on}, plus
+// XJoin over the same non-sharded dimensions (XJoin has no sharded
+// wrapper). 72 PJoin rows + 24 XJoin rows.
+func Matrix() []Variant {
+	var vs []Variant
+	for _, index := range []bool{true, false} {
+		for _, chunk := range []int{0, 512, 64 << 10} {
+			for _, cache := range []bool{false, true} {
+				for _, fault := range []bool{false, true} {
+					for _, shards := range []int{1, 2, 4} {
+						vs = append(vs, Variant{Op: "pjoin", Index: index, Chunk: chunk,
+							Shards: shards, Cache: cache, Fault: fault})
+					}
+					vs = append(vs, Variant{Op: "xjoin", Index: index, Chunk: chunk,
+						Shards: 1, Cache: cache, Fault: fault})
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// spillStack assembles one side's spill store for the variant:
+// MemSpill at the bottom, fault injection above it (faults surface
+// from the "device"), LRU cache on top (cache hits must not mask a
+// faulted device's read errors on misses — matching production
+// layering cache-over-disk).
+func spillStack(sc *Scenario, v Variant) store.SpillStore {
+	var s store.SpillStore = store.NewMemSpill()
+	if v.Fault {
+		s = store.NewFaultSpill(s, store.FaultAny, sc.FaultAt, ErrInjectedFault)
+	}
+	if v.Cache {
+		s = store.NewCachedSpill(s, 1<<20)
+	}
+	return s
+}
+
+func (sc *Scenario) thresholds() event.Thresholds {
+	return event.Thresholds{
+		Purge:          sc.Purge,
+		MemoryBytes:    sc.MemoryBytes,
+		DiskJoinIdle:   sc.DiskJoinIdle,
+		PropagateCount: sc.PropagateCount,
+	}
+}
+
+// joinOp is the slice of the operator surface the harness drives and
+// audits; core.PJoin, xjoin.XJoin and parallel.ShardedPJoin all
+// implement it (shj.SHJ implements only op.Operator and is driven
+// separately as the result oracle).
+type joinOp interface {
+	op.Operator
+	Metrics() joinbase.Metrics
+	Latencies() obs.LatSnapshot
+}
+
+// build constructs the variant's operator over the scenario's shared
+// thresholds, emitting into out. disableFault builds the
+// fault-recovery rerun: same variant, fault injection off.
+func build(sc *Scenario, v Variant, out op.Emitter, disableFault bool) (op.Operator, error) {
+	fv := v
+	if disableFault {
+		fv.Fault = false
+	}
+	switch v.Op {
+	case "pjoin":
+		cfg := core.Config{
+			SchemaA:    gen.SchemaA,
+			SchemaB:    gen.SchemaB,
+			AttrA:      gen.KeyAttr,
+			AttrB:      gen.KeyAttr,
+			NumBuckets: sc.NumBuckets,
+			Thresholds: sc.thresholds(),
+			EagerIndex: sc.EagerIndex,
+
+			DiskChunkBytes:    fv.Chunk,
+			DisableStateIndex: !fv.Index,
+
+			// The cross-variant punctuation comparison needs the exact
+			// propagation multiset to be schedule-independent: without
+			// retention, the release schedule feeds back into pid
+			// assignment and correct chunked/sharded runs can propagate
+			// different (still sound) sets.
+			RetainPropagated:   true,
+			VerifyPunctuations: true,
+		}
+		if fv.Shards > 1 {
+			pcfg := parallel.Config{Shards: fv.Shards, Join: cfg}
+			if fv.Cache || fv.Fault {
+				pcfg.SpillFactory = func(int, int) store.SpillStore { return spillStack(sc, fv) }
+			}
+			return parallel.New(pcfg, out)
+		}
+		cfg.SpillA = spillStack(sc, fv)
+		cfg.SpillB = spillStack(sc, fv)
+		return core.New(cfg, out)
+	case "xjoin":
+		cfg := xjoin.Config{
+			SchemaA:           gen.SchemaA,
+			SchemaB:           gen.SchemaB,
+			AttrA:             gen.KeyAttr,
+			AttrB:             gen.KeyAttr,
+			NumBuckets:        sc.NumBuckets,
+			MemoryBytes:       sc.MemoryBytes,
+			DiskJoinIdle:      sc.DiskJoinIdle,
+			DiskChunkBytes:    fv.Chunk,
+			DisableStateIndex: !fv.Index,
+			SpillA:            spillStack(sc, fv),
+			SpillB:            spillStack(sc, fv),
+		}
+		return xjoin.New(cfg, out)
+	default:
+		return nil, fmt.Errorf("oracle: unknown variant op %q", v.Op)
+	}
+}
+
+// buildOracle constructs the brute-force shj result oracle.
+func buildOracle(out op.Emitter) (op.Operator, error) {
+	return shj.New(gen.SchemaA, gen.SchemaB, gen.KeyAttr, gen.KeyAttr, out)
+}

@@ -70,6 +70,7 @@ import (
 	"pjoin/internal/joinbase"
 	"pjoin/internal/obs"
 	"pjoin/internal/op"
+	"pjoin/internal/store"
 	"pjoin/internal/stream"
 )
 
@@ -92,6 +93,13 @@ type Config struct {
 	// Thresholds (purge, memory, propagation) apply per shard. Join.Instr
 	// must be nil too: shards receive handles derived from Instr.
 	Join core.Config
+	// SpillFactory, when non-nil, supplies each shard's spill stores:
+	// it is called with (shard, side) for side 0 (A) and 1 (B) of every
+	// shard. Shards must never share a store, so the factory returns a
+	// fresh one per call. Nil keeps the default (per-shard MemSpill via
+	// core.New). This is how cached or fault-injected spill stacks are
+	// threaded under sharding.
+	SpillFactory func(shard, side int) store.SpillStore
 	// Instr is the sharded operator's observability handle. Tracing is
 	// forwarded to the shards (each stamps its shard index); the live
 	// sampler is NOT — shard goroutines must never run the aggregated
@@ -203,6 +211,10 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 		// Tracing only: a shard goroutine running the aggregated gauges
 		// (which lock every shard) would deadlock against itself.
 		shardCfg.Instr = cfg.Instr.WithoutLive().Derive(shardName, i)
+		if cfg.SpillFactory != nil {
+			shardCfg.SpillA = cfg.SpillFactory(i, 0)
+			shardCfg.SpillB = cfg.SpillFactory(i, 1)
+		}
 		pj, err := core.New(shardCfg, j.merge.emitter())
 		if err != nil {
 			// Unwind shards already started so their goroutines exit.
@@ -598,11 +610,13 @@ type pendingPunct struct {
 	remaining int
 	ts        stream.Time
 
-	// arrivedAt is the punctuation's arrival time at the router, noted
-	// before the broadcast (notePunctArrival); tracked distinguishes a
-	// noted arrival from a zero timestamp.
-	arrivedAt stream.Time
-	tracked   bool
+	// arrivals is the FIFO of router arrival times noted before each
+	// broadcast of this pattern (notePunctArrival). A punctuation
+	// pattern can legitimately arrive more than once — a redundant
+	// re-promise contained in an earlier one renders identically — and
+	// alignments of the same key complete in arrival order, so each
+	// completed countdown pops the front entry for its delay sample.
+	arrivals []stream.Time
 }
 
 // notePunctArrival records a broadcast punctuation's arrival time under
@@ -616,9 +630,7 @@ func (m *merger) notePunctArrival(key string, ts stream.Time) {
 		pp = &pendingPunct{remaining: m.n}
 		m.pending[key] = pp
 	}
-	if !pp.tracked {
-		pp.arrivedAt, pp.tracked = ts, true
-	}
+	pp.arrivals = append(pp.arrivals, ts)
 }
 
 // emitter returns the op.Emitter handed to one shard's PJoin. All
@@ -646,13 +658,25 @@ func (m *merger) emitter() op.Emitter {
 			if pp.remaining > 0 {
 				return nil // some shard may still produce matching results
 			}
-			delete(m.pending, key)
+			fwdTs := pp.ts
 			m.punctsOut++
-			if pp.tracked {
-				m.lat.RecordPunctDelay(pp.ts, pp.arrivedAt)
+			if len(pp.arrivals) > 0 {
+				m.lat.RecordPunctDelay(fwdTs, pp.arrivals[0])
+				pp.arrivals = pp.arrivals[1:]
 			}
-			m.in.Event(obs.KindShardMerge, pp.ts, -1, int64(m.n), 0)
-			return m.out.Emit(stream.PunctItem(it.Punct, pp.ts))
+			if len(pp.arrivals) > 0 {
+				// Another alignment of the same pattern is already in
+				// flight (a duplicate arrived before the first completed):
+				// rearm the countdown instead of deleting, or the next
+				// shard emission would recreate the entry without its
+				// noted arrival time.
+				pp.remaining = m.n
+				pp.ts = 0
+			} else {
+				delete(m.pending, key)
+			}
+			m.in.Event(obs.KindShardMerge, fwdTs, -1, int64(m.n), 0)
+			return m.out.Emit(stream.PunctItem(it.Punct, fwdTs))
 		case stream.KindEOS:
 			// Shard EOS is bookkeeping only; ShardedPJoin.Finish emits
 			// the single downstream EOS after all shards drained.
