@@ -45,12 +45,16 @@ fuzz:
 # quantiles (p50/p95/p99/max) across punctuation inter-arrival rates in
 # both regimes. BENCH_5.json: the incremental disk-join sweep —
 # result-latency quantiles per chunk budget (0 = blocking baseline)
-# with spill-cache hit ratios. The JSON artifacts are committed so
-# regressions show up in review.
+# with spill-cache hit ratios. BENCH_6.json: the batched-dataflow sweep
+# — per-probe speedup of the seq-guarded memoizing probe over same-key
+# runs, plus wall-clock throughput and punctuation-propagation delay of
+# the live pipeline per batch x linger cell. The JSON artifacts are
+# committed so regressions show up in review.
 bench:
 	$(GO) run ./cmd/pjoinbench -bench3 BENCH_3.json
 	$(GO) run ./cmd/pjoinbench -bench4 BENCH_4.json
 	$(GO) run ./cmd/pjoinbench -bench5 BENCH_5.json
+	$(GO) run ./cmd/pjoinbench -bench6 BENCH_6.json
 
 # Fault-injection flight-recorder sample: wedge a join on a failing
 # spill device, let the lag SLO fire, dump the last trace events +

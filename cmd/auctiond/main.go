@@ -14,6 +14,8 @@
 //	auctiond -disk-chunk-kb 64 -spill-cache-mb 4 \
 //	         -http :6060              # incremental disk join + spill block
 //	                                  # cache (hit-ratio gauges on /metrics)
+//	auctiond -batch 256 -batch-linger-ms 1   # batched edge delivery
+//	                                  # (punctuations still flush immediately)
 package main
 
 import (
@@ -71,6 +73,8 @@ func main() {
 		flight   = flag.String("flight", "flight.jsonl.gz", "where a firing health detector dumps the flight record (.gz compresses)")
 		chunkKB  = flag.Int("disk-chunk-kb", 0, "run disk passes incrementally with this per-step read budget in KiB (0 = blocking)")
 		cacheMB  = flag.Int("spill-cache-mb", 0, "wrap the join's spill stores in an LRU block cache of this many MiB (0 = no cache)")
+		batchN   = flag.Int("batch", 0, "deliver items to operators in batches of up to this size (<= 1 = per item); punctuations and EOS always flush the batch")
+		lingerMs = flag.Int("batch-linger-ms", 0, "bound how long a tuple may wait in an edge buffer before its batch is cut (0 = flush on every emit); only meaningful with -batch > 1")
 	)
 	flag.Parse()
 
@@ -126,6 +130,10 @@ func main() {
 	}
 
 	p := exec.NewPipeline()
+	// Batch settings must be in place before edges are created: an edge's
+	// delivery mode is fixed at creation.
+	p.BatchSize = *batchN
+	p.BatchLinger = time.Duration(*lingerMs) * time.Millisecond
 	srcOpen, srcBid, joined, grouped := p.Edge(), p.Edge(), p.Edge(), p.Edge()
 	cfg := core.Config{
 		SchemaA: gen.OpenSchema, SchemaB: gen.BidSchema,

@@ -19,6 +19,9 @@
 //	                                        # punct-delay quantiles per punct rate
 //	pjoinbench -bench5 BENCH_5.json         # incremental disk-join sweep: latency
 //	                                        # quantiles per chunk budget + cache hit ratio
+//	pjoinbench -bench6 BENCH_6.json         # batched dataflow sweep: memoized-probe
+//	                                        # micro + pipeline throughput per batch x linger
+//	pjoinbench -bench6 b6.json -batch 256 -batch-linger-ms 1  # one cell vs per-item
 //	pjoinbench -fig 9 -disk-chunk-kb 64     # run any figure with incremental passes
 //	pjoinbench -fig 9 -spill-cache-mb 4     # ... and/or a spill block cache
 //	pjoinbench -flight-sample flight.jsonl.gz  # fault-injection flight dump
@@ -55,10 +58,13 @@ func main() {
 		bench3 = flag.String("bench3", "", "write the performance summary JSON (index micro-benchmarks + per-experiment work counters) to this file")
 		bench4 = flag.String("bench4", "", "write the latency summary JSON (result-latency + punct-delay quantiles per punctuation rate) to this file")
 		bench5 = flag.String("bench5", "", "write the incremental disk-join sweep JSON (result-latency quantiles per chunk budget + spill-cache hit ratio) to this file")
+		bench6 = flag.String("bench6", "", "write the batched-dataflow sweep JSON (memoized-probe micro + live-pipeline throughput and punct delay per batch x linger) to this file")
 		flight = flag.String("flight-sample", "", "run the fault-injection flight-recorder scenario and write the dump to this file (.gz compresses)")
 
-		chunkKB = flag.Int("disk-chunk-kb", 0, "run disk passes incrementally with this per-step read budget in KiB (0 = blocking)")
-		cacheMB = flag.Int("spill-cache-mb", 0, "wrap spill stores in an LRU block cache of this many MiB (0 = no cache)")
+		chunkKB  = flag.Int("disk-chunk-kb", 0, "run disk passes incrementally with this per-step read budget in KiB (0 = blocking)")
+		cacheMB  = flag.Int("spill-cache-mb", 0, "wrap spill stores in an LRU block cache of this many MiB (0 = no cache)")
+		batchN   = flag.Int("batch", 0, "exec batch size for the live-pipeline measurements (<=1 = per-item; with -bench6, restricts the sweep to this cell)")
+		lingerMs = flag.Int("batch-linger-ms", 0, "bound on how long a tuple may wait in an edge batch buffer (0 = flush every emit)")
 
 		oracleN      = flag.Int("oracle", 0, "differential oracle soak: check this many seeds (starting at -seed) across the full config matrix")
 		oracleOut    = flag.String("oracle-out", "", "oracle: write minimized replay specs of failing seeds to this file (CI failure artifact)")
@@ -132,6 +138,28 @@ func main() {
 		return
 	}
 
+	if *bench6 != "" {
+		rep, err := bench.RunBench6(bench.RunConfig{
+			Seed: *seed, Quick: *quick, Batch: *batchN, BatchLingerMs: *lingerMs,
+		}, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench6: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*bench6)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench6: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench6)
+		return
+	}
+
 	if *bench3 != "" {
 		rep, err := bench.RunBench3(*seed, os.Stderr)
 		if err != nil {
@@ -166,12 +194,14 @@ func main() {
 	}
 
 	rc := bench.RunConfig{
-		Seed:         *seed,
-		Quick:        *quick,
-		Duration:     stream.Time(*durMs) * stream.Millisecond,
-		Shards:       shardCounts,
-		DiskChunkKB:  *chunkKB,
-		SpillCacheMB: *cacheMB,
+		Seed:          *seed,
+		Quick:         *quick,
+		Duration:      stream.Time(*durMs) * stream.Millisecond,
+		Shards:        shardCounts,
+		DiskChunkKB:   *chunkKB,
+		SpillCacheMB:  *cacheMB,
+		Batch:         *batchN,
+		BatchLingerMs: *lingerMs,
 	}
 	var tracer *obs.JSONL
 	if *trace != "" {

@@ -199,7 +199,10 @@ type PJoin struct {
 	finished bool
 }
 
-var _ op.Operator = (*PJoin)(nil)
+var (
+	_ op.Operator       = (*PJoin)(nil)
+	_ op.BatchProcessor = (*PJoin)(nil)
+)
 
 // New builds a PJoin with its event-listener registry configured from
 // cfg (paper Table 1) and bound to out for results and propagated
@@ -479,6 +482,24 @@ func (j *PJoin) Process(port int, it stream.Item, now stream.Time) error {
 	default:
 		return fmt.Errorf("core: pjoin: unknown item kind %v", it.Kind)
 	}
+}
+
+// ProcessBatch implements op.BatchProcessor: one driver wakeup delivers
+// a whole batch. Semantics are exactly per-item Process in order — the
+// batch path exists so the driver amortizes its per-call overhead and
+// so hot-key runs inside the batch hit the memoized probe (see
+// joinbase.Base.ProbeOpposite). The probe cache is released at the
+// batch boundary so it never pins purged tuples across wakeups.
+func (j *PJoin) ProcessBatch(port int, items []stream.Item, now stream.Time) error {
+	j.base.M.Batches++
+	j.lat.RecordBatchFill(len(items))
+	for _, it := range items {
+		if err := j.Process(port, it, it.Ts); err != nil {
+			return err
+		}
+	}
+	j.base.InvalidateProbeCache()
+	return nil
 }
 
 // processTuple is the memory join (§3.2): probe the opposite state's
@@ -1151,6 +1172,7 @@ func (j *PJoin) Finish(now stream.Time) error {
 		}
 	}
 	j.finished = true
+	j.base.InvalidateProbeCache()
 	if lv := j.obs.Live(); lv != nil {
 		lv.Flush(j.now) // final sample so the series ends at the run's last state
 	}

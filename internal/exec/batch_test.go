@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pjoin/internal/core"
+	"pjoin/internal/gen"
+	"pjoin/internal/op"
+	"pjoin/internal/parallel"
+	"pjoin/internal/punct"
+	"pjoin/internal/stream"
+	"pjoin/internal/value"
+)
+
+// TestBatchedPipelineEquivalence pins the tentpole claim: batch-granular
+// delivery is observably identical to per-item delivery. The same
+// workload runs through per-item, batched (several batch × linger
+// cells), and sharded-batched pipelines; joined value multisets and
+// propagated punctuation multisets must match exactly (live restamps
+// differ, so timestamps are excluded — the same comparison
+// TestShardedPJoinPipeline uses).
+func TestBatchedPipelineEquivalence(t *testing.T) {
+	arrs, err := gen.Synthetic(gen.Config{
+		Seed:      17,
+		MaxTuples: 600,
+		Duration:  1 << 62,
+		A:         gen.SideSpec{TupleMean: stream.Millisecond, PunctMean: 8},
+		B:         gen.SideSpec{TupleMean: stream.Millisecond, PunctMean: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []stream.Item
+	for _, ar := range arrs {
+		if ar.Port == 0 {
+			a = append(a, ar.Item)
+		} else {
+			b = append(b, ar.Item)
+		}
+	}
+
+	run := func(batch int, linger time.Duration, shards int) (map[string]int, map[string]int) {
+		p := NewPipeline()
+		p.BatchSize = batch
+		p.BatchLinger = linger
+		srcA, srcB, out := p.Edge(), p.Edge(), p.Edge()
+		cfg := core.Config{SchemaA: gen.SchemaA, SchemaB: gen.SchemaB}
+		cfg.Thresholds.PropagateCount = 1
+		// Racing live sources interleave differently per run; retaining
+		// propagated punctuations makes the propagated multiset
+		// schedule-independent so it can be compared across cells.
+		cfg.RetainPropagated = true
+		var j op.Operator
+		if shards > 1 {
+			j, err = parallel.New(parallel.Config{Shards: shards, Join: cfg}, out)
+		} else {
+			j, err = core.New(cfg, out)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SourceItems(srcA, a, false)
+		p.SourceItems(srcB, b, false)
+		if err := p.Spawn(j, srcA, srcB); err != nil {
+			t.Fatal(err)
+		}
+		sink := p.Sink(out)
+		if err := p.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if last := sink.Items[len(sink.Items)-1]; last.Kind != stream.KindEOS {
+			t.Errorf("batch=%d linger=%v shards=%d: last sink item is %v, want EOS",
+				batch, linger, shards, last.Kind)
+		}
+		vals := map[string]int{}
+		for _, tp := range sink.Tuples() {
+			key := ""
+			for _, v := range tp.Values {
+				key += v.String() + "|"
+			}
+			vals[key]++
+		}
+		puncts := map[string]int{}
+		for _, it := range sink.Puncts() {
+			puncts[it.Punct.String()]++
+		}
+		return vals, puncts
+	}
+
+	wantVals, wantPuncts := run(1, 0, 1)
+	if len(wantVals) == 0 || len(wantPuncts) == 0 {
+		t.Fatalf("per-item baseline: %d results, %d punct patterns", len(wantVals), len(wantPuncts))
+	}
+	cells := []struct {
+		batch  int
+		linger time.Duration
+		shards int
+	}{
+		{8, 0, 1},
+		{8, time.Millisecond, 1},
+		{256, 0, 1},
+		{256, time.Millisecond, 1},
+		{64, time.Millisecond, 2},
+	}
+	diff := func(t *testing.T, name string, got, want map[string]int) {
+		t.Helper()
+		for k, n := range want {
+			if got[k] != n {
+				t.Errorf("%s %q: per-item %d, batched %d", name, k, n, got[k])
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("distinct %s: per-item %d, batched %d", name, len(want), len(got))
+		}
+	}
+	for _, c := range cells {
+		vals, puncts := run(c.batch, c.linger, c.shards)
+		t.Run(fmt.Sprintf("batch%d_linger%v_shards%d", c.batch, c.linger, c.shards), func(t *testing.T) {
+			diff(t, "result", vals, wantVals)
+			diff(t, "punct", puncts, wantPuncts)
+		})
+	}
+}
+
+// wallLog records the wall-clock instant it first processes an item of
+// each kind, so batching tests can assert when the executor actually
+// delivered something — independent of restamped item timestamps, which
+// deliberately hide edge queueing.
+type wallLog struct {
+	mu    sync.Mutex
+	first map[stream.ItemKind]time.Time
+	out   op.Emitter
+}
+
+func newWallLog(out op.Emitter) *wallLog {
+	return &wallLog{first: map[stream.ItemKind]time.Time{}, out: out}
+}
+
+func (w *wallLog) Name() string              { return "wall-log" }
+func (w *wallLog) NumPorts() int             { return 1 }
+func (w *wallLog) OutSchema() *stream.Schema { return gen.SchemaA }
+
+func (w *wallLog) Process(port int, it stream.Item, now stream.Time) error {
+	w.mu.Lock()
+	if _, ok := w.first[it.Kind]; !ok {
+		w.first[it.Kind] = time.Now()
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+func (w *wallLog) OnIdle(stream.Time) (bool, error) { return false, nil }
+
+func (w *wallLog) Finish(now stream.Time) error {
+	return w.out.Emit(stream.EOSItem(now))
+}
+
+func (w *wallLog) firstAt(k stream.ItemKind) time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.first[k]
+}
+
+// TestPunctuationCutsBatch pins the propagation-latency rule:
+// punctuations never wait in an edge buffer. With a huge batch size and
+// a linger far beyond the test's lifetime, a buffered tuple run would
+// sit until EOS — but the punctuation must flush the batch the moment
+// it is emitted, so the operator sees it a source-stall earlier than
+// the EOS.
+func TestPunctuationCutsBatch(t *testing.T) {
+	const stall = 300 * time.Millisecond
+	p := NewPipeline()
+	p.BatchSize = 1 << 20
+	p.BatchLinger = time.Hour
+	src, out := p.Edge(), p.Edge()
+	w := newWallLog(out)
+	p.launched = append(p.launched, func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer src.close()
+			for _, it := range items(t, 5) {
+				if src.Emit(it) != nil {
+					return
+				}
+			}
+			pi := stream.PunctItem(punct.MustKeyOnly(2, 0, punct.Const(value.Int(1))), 0)
+			if src.Emit(pi) != nil {
+				return
+			}
+			time.Sleep(stall)
+			src.Emit(stream.EOSItem(0))
+		}()
+	})
+	if err := p.Spawn(w, src); err != nil {
+		t.Fatal(err)
+	}
+	p.Sink(out)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	punctAt, eosAt := w.firstAt(stream.KindPunct), w.firstAt(stream.KindEOS)
+	if punctAt.IsZero() || eosAt.IsZero() {
+		t.Fatalf("operator missed items: punct %v, eos %v", punctAt, eosAt)
+	}
+	if gap := eosAt.Sub(punctAt); gap < stall/2 {
+		t.Errorf("punctuation was processed only %v before EOS; it waited in the "+
+			"batch buffer through the %v source stall instead of cutting the batch", gap, stall)
+	}
+	// The tuples ahead of the punctuation ride the same cut.
+	if tupAt := w.firstAt(stream.KindTuple); eosAt.Sub(tupAt) < stall/2 {
+		t.Error("tuples before the punctuation were not flushed with it")
+	}
+}
+
+// TestLingerBoundsTupleDelay pins the other half of the latency bound:
+// with no punctuation to cut the batch and a batch size never reached,
+// the linger timer alone must flush a waiting tuple within ~linger —
+// not hold it until EOS.
+func TestLingerBoundsTupleDelay(t *testing.T) {
+	const (
+		linger = 20 * time.Millisecond
+		stall  = 400 * time.Millisecond
+	)
+	p := NewPipeline()
+	p.BatchSize = 1 << 20
+	p.BatchLinger = linger
+	src, out := p.Edge(), p.Edge()
+	w := newWallLog(out)
+	p.launched = append(p.launched, func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer src.close()
+			for _, it := range items(t, 3) {
+				if src.Emit(it) != nil {
+					return
+				}
+			}
+			time.Sleep(stall)
+			src.Emit(stream.EOSItem(0))
+		}()
+	})
+	if err := p.Spawn(w, src); err != nil {
+		t.Fatal(err)
+	}
+	p.Sink(out)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tupAt, eosAt := w.firstAt(stream.KindTuple), w.firstAt(stream.KindEOS)
+	if tupAt.IsZero() || eosAt.IsZero() {
+		t.Fatal("operator missed items")
+	}
+	if gap := eosAt.Sub(tupAt); gap < stall/2 {
+		t.Errorf("first tuple was processed only %v before EOS; the %v linger "+
+			"timer did not flush it during the %v source stall", gap, linger, stall)
+	}
+}

@@ -30,20 +30,119 @@ import (
 
 // Edge is a channel between pipeline stages. It implements op.Emitter
 // for the upstream operator; the downstream operator reads from it.
+//
+// An edge runs in one of two modes, fixed at creation (Pipeline.Edge
+// reads BatchSize): per-item (ch carries one stream.Item per send — the
+// default, and the paper-figure regime) or batched (bch carries pooled
+// []stream.Item slices; Emit accumulates under mu and a cut sends the
+// whole buffer in one channel operation). Batch boundaries never cross
+// punctuations or EOS: any non-tuple item flushes the buffer with
+// itself as the last element, so constraint information is never
+// delayed behind buffered data. With BatchLinger > 0, tuples may wait
+// in the buffer for at most that long (a one-shot timer cuts the
+// batch); with linger zero every Emit flushes, which keeps batch-mode
+// latency identical to per-item at the cost of fill.
 type Edge struct {
 	p  *Pipeline
 	ch chan stream.Item
+	// Batched mode (nil ch):
+	bch    chan []stream.Item
+	size   int
+	linger time.Duration
+
+	mu     sync.Mutex
+	buf    []stream.Item
+	armed  bool // a linger timer callback is pending
+	closed bool
 }
+
+// batched reports the edge's mode.
+func (e *Edge) batched() bool { return e.bch != nil }
 
 // Emit implements op.Emitter. It blocks under back-pressure and fails
 // when the pipeline has been cancelled.
 func (e *Edge) Emit(it stream.Item) error {
+	if !e.batched() {
+		select {
+		case e.ch <- it:
+			return nil
+		case <-e.p.ctx.Done():
+			return fmt.Errorf("exec: pipeline cancelled: %w", context.Cause(e.p.ctx))
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.buf == nil {
+		e.buf = e.p.getBatch()
+	}
+	e.buf = append(e.buf, it)
+	switch {
+	case it.Kind != stream.KindTuple:
+		// Punctuations and EOS are batch boundaries: flush immediately
+		// so downstream purge/propagation latency is never queued
+		// behind buffered tuples.
+		return e.flushLocked()
+	case len(e.buf) >= e.size:
+		return e.flushLocked()
+	case e.linger <= 0:
+		// No linger budget: every Emit flushes. Fill comes only from
+		// multi-item emitters upstream of the same cut, so latency is
+		// per-item-identical.
+		return e.flushLocked()
+	default:
+		if !e.armed {
+			e.armed = true
+			time.AfterFunc(e.linger, e.onLinger)
+		}
+		return nil
+	}
+}
+
+// onLinger is the linger timer callback: cut whatever accumulated. A
+// tuple appended at time t is flushed no later than t + linger — the
+// callback pending at arming time fires within linger of the oldest
+// buffered tuple, and flushes everything buffered after it too.
+func (e *Edge) onLinger() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.armed = false
+	if e.closed {
+		return
+	}
+	_ = e.flushLocked() // a cancelled pipeline drops the cut; Run reports the cause
+}
+
+// flushLocked cuts the buffer and sends it as one batch, holding e.mu
+// across the send so cut order equals channel order (the consumer never
+// takes e.mu, so this cannot deadlock). Empty cuts are no-ops.
+func (e *Edge) flushLocked() error {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	b := e.buf
+	e.buf = nil
 	select {
-	case e.ch <- it:
+	case e.bch <- b:
 		return nil
 	case <-e.p.ctx.Done():
 		return fmt.Errorf("exec: pipeline cancelled: %w", context.Cause(e.p.ctx))
 	}
+}
+
+// close ends the edge's stream: sources call it when they are done. In
+// batched mode the remaining buffer is flushed first; a concurrently
+// firing linger callback observes closed under the mutex and cannot
+// send after the channel closes.
+func (e *Edge) close() {
+	if !e.batched() {
+		close(e.ch)
+		return
+	}
+	e.mu.Lock()
+	e.closed = true
+	_ = e.flushLocked()
+	e.mu.Unlock()
+	close(e.bch)
 }
 
 // Pipeline assembles sources, operators and sinks, then runs them all
@@ -66,6 +165,25 @@ type Pipeline struct {
 
 	// BufferSize is the channel capacity for new edges (default 256).
 	BufferSize int
+
+	// BatchSize selects the dataflow granularity for edges created after
+	// it is set: ≤ 1 (the default) keeps today's per-item path exactly;
+	// > 1 makes edges carry batches of up to BatchSize items. Batch-mode
+	// semantics are observably identical to per-item — punctuations and
+	// EOS always cut batches, and operators see the same call sequence
+	// through op.ProcessAll — only the per-item channel and wakeup
+	// overhead is amortized. Set before creating edges.
+	BatchSize int
+
+	// BatchLinger bounds how long a tuple may wait in an edge buffer
+	// before the batch is cut (0, the default, flushes on every Emit, so
+	// batching adds no latency; fill then comes only from bursts already
+	// queued upstream). Only meaningful when BatchSize > 1. Set before
+	// creating edges.
+	BatchLinger time.Duration
+
+	// batchPool recycles batch buffers between edge cuts and consumers.
+	batchPool sync.Pool
 
 	// Obs is the pipeline's observability handle; each spawned operator
 	// gets a derived handle stamped with its name, and the executor
@@ -93,13 +211,39 @@ func NewPipeline() *Pipeline {
 	}
 }
 
-// Edge allocates a new channel edge.
+// Edge allocates a new channel edge — per-item, or batched when
+// BatchSize > 1 (the mode is fixed at creation).
 func (p *Pipeline) Edge() *Edge {
 	n := p.BufferSize
 	if n <= 0 {
 		n = 256
 	}
+	if p.BatchSize > 1 {
+		return &Edge{p: p, bch: make(chan []stream.Item, n), size: p.BatchSize, linger: p.BatchLinger}
+	}
 	return &Edge{p: p, ch: make(chan stream.Item, n)}
+}
+
+// getBatch returns an empty batch buffer with capacity for a full batch.
+func (p *Pipeline) getBatch() []stream.Item {
+	if b, ok := p.batchPool.Get().(*[]stream.Item); ok {
+		return (*b)[:0]
+	}
+	n := p.BatchSize
+	if n < 1 {
+		n = 1
+	}
+	return make([]stream.Item, 0, n)
+}
+
+// putBatch recycles a consumed batch buffer, clearing the tuple pointers
+// so the pool does not pin them.
+func (p *Pipeline) putBatch(b []stream.Item) {
+	for i := range b {
+		b[i] = stream.Item{}
+	}
+	b = b[:0]
+	p.batchPool.Put(&b)
 }
 
 // elapsed is the offset since pipeline start on the configured clock.
@@ -145,7 +289,7 @@ func (p *Pipeline) Source(out *Edge, items []stream.Item, paced bool) {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			defer close(out.ch)
+			defer out.close()
 			for _, it := range items {
 				if paced {
 					target := p.start.Add(time.Duration(it.Ts))
@@ -181,6 +325,12 @@ func (p *Pipeline) SourceItems(out *Edge, items []stream.Item, paced bool) {
 type portItem struct {
 	port int
 	item stream.Item
+}
+
+// portBatch tags a batch with the input port it arrived on.
+type portBatch struct {
+	port  int
+	items []stream.Item
 }
 
 // PropagationPuller is implemented by operators that can be asked to
@@ -245,6 +395,12 @@ func (p *Pipeline) Spawn(o op.Operator, inputs ...*Edge) error {
 }
 
 func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) {
+	for _, in := range inputs {
+		if in.batched() {
+			p.runOperatorBatched(o, inputs, pull)
+			return
+		}
+	}
 	merged := make(chan portItem, len(inputs))
 	var fanIn sync.WaitGroup
 	for port, in := range inputs {
@@ -352,6 +508,136 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 	}()
 }
 
+// runOperatorBatched is the batch-granular driver: one wakeup drains a
+// whole input batch, restamps its items in place (the buffer is owned by
+// the consumer once received), and dispatches through op.ProcessAll — an
+// op.BatchProcessor gets the slice in one call, any other operator sees
+// exactly the per-item call sequence. Mixed wiring (a per-item edge into
+// an operator that also has batched inputs) is handled by wrapping each
+// item as a one-item batch at the fan-in.
+func (p *Pipeline) runOperatorBatched(o op.Operator, inputs []*Edge, pull *PullHandle) {
+	merged := make(chan portBatch, len(inputs))
+	var fanIn sync.WaitGroup
+	for port, in := range inputs {
+		fanIn.Add(1)
+		go func(port int, in *Edge) {
+			defer fanIn.Done()
+			if in.batched() {
+				for b := range in.bch {
+					select {
+					case merged <- portBatch{port: port, items: b}:
+					case <-p.ctx.Done():
+						return
+					}
+				}
+				return
+			}
+			for it := range in.ch {
+				b := append(p.getBatch(), it)
+				select {
+				case merged <- portBatch{port: port, items: b}:
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		}(port, in)
+	}
+	go func() {
+		fanIn.Wait()
+		close(merged)
+	}()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		oin := p.Obs.Derive(o.Name(), -1)
+		oin.Event(obs.KindOpStart, stream.Time(p.elapsed()), -1, 0, 0)
+		var lastTs stream.Time
+		// stamp mirrors the per-item driver: strictly increasing system
+		// arrival timestamps, at least the wall-clock offset since start.
+		// Items in one batch get consecutive clamped stamps, exactly the
+		// sequence per-item delivery of the same burst would produce.
+		stamp := func(it stream.Item) stream.Item {
+			ts := p.sysNow(lastTs)
+			lastTs = ts
+			switch it.Kind {
+			case stream.KindTuple:
+				t := *it.Tuple
+				t.Ts = ts
+				return stream.TupleItem(&t)
+			case stream.KindPunct:
+				return stream.PunctItem(it.Punct, ts)
+			default:
+				return stream.EOSItem(ts)
+			}
+		}
+		eosSeen := 0
+		var idleTimer *time.Timer
+		var idleC <-chan time.Time
+		resetIdle := func() {
+			if p.IdlePoll <= 0 {
+				return
+			}
+			if idleTimer == nil {
+				idleTimer = time.NewTimer(p.IdlePoll)
+			} else {
+				idleTimer.Reset(p.IdlePoll)
+			}
+			idleC = idleTimer.C
+		}
+		resetIdle()
+		for {
+			select {
+			case pb, ok := <-merged:
+				if !ok {
+					p.fail(fmt.Errorf("exec: %s: inputs closed with %d of %d EOS seen",
+						o.Name(), eosSeen, o.NumPorts()))
+					return
+				}
+				for i := range pb.items {
+					it := stamp(pb.items[i])
+					pb.items[i] = it
+					if it.Kind == stream.KindEOS {
+						eosSeen++
+					}
+				}
+				err := op.ProcessAll(o, pb.port, pb.items)
+				p.putBatch(pb.items)
+				if err != nil {
+					p.fail(fmt.Errorf("exec: %s: %w", o.Name(), err))
+					return
+				}
+				if eosSeen == o.NumPorts() {
+					if err := o.Finish(lastTs + 1); err != nil {
+						p.fail(fmt.Errorf("exec: %s: %w", o.Name(), err))
+						return
+					}
+					oin.Event(obs.KindOpFinish, lastTs+1, -1, 0, 0)
+					return
+				}
+				resetIdle()
+			case <-pull.ch:
+				pp, ok := o.(PropagationPuller)
+				if !ok {
+					break
+				}
+				if err := pp.RequestPropagation(p.sysNow(lastTs)); err != nil {
+					p.fail(fmt.Errorf("exec: %s pull: %w", o.Name(), err))
+					return
+				}
+			case <-idleC:
+				if _, err := o.OnIdle(p.sysNow(lastTs)); err != nil {
+					p.fail(fmt.Errorf("exec: %s idle: %w", o.Name(), err))
+					return
+				}
+				resetIdle()
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
 // Watch polls probe on a wall-clock cadence and feeds the samples to
 // the stall detector d; the first sample that fires invokes onFire
 // (once — the detector is latched) on the watcher goroutine. probe must
@@ -398,6 +684,25 @@ func (p *Pipeline) Sink(in *Edge) *op.Collector {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			if in.batched() {
+				for {
+					select {
+					case b, ok := <-in.bch:
+						if !ok {
+							return
+						}
+						c.Grow(len(b))
+						err := c.EmitBatch(b)
+						sawEOS := len(b) > 0 && b[len(b)-1].Kind == stream.KindEOS
+						p.putBatch(b)
+						if err != nil || sawEOS {
+							return
+						}
+					case <-p.ctx.Done():
+						return
+					}
+				}
+			}
 			for {
 				select {
 				case it, ok := <-in.ch:

@@ -57,6 +57,7 @@ type Metrics struct {
 	PurgeRuns     int64    // purge component invocations (PJoin)
 	DroppedOnFly  int64    // tuples never inserted thanks to punctuations
 	IndexScanned  int64    // tuples examined by punctuation index builds
+	Batches       int64    // ProcessBatch invocations (0 on the per-item path)
 }
 
 // Add accumulates o into m field by field. Parallel joins (a sharded
@@ -83,6 +84,7 @@ func (m *Metrics) Add(o Metrics) {
 	m.PurgeRuns += o.PurgeRuns
 	m.DroppedOnFly += o.DroppedOnFly
 	m.IndexScanned += o.IndexScanned
+	m.Batches += o.Batches
 }
 
 // Base is the symmetric two-state core of a binary equi-join.
@@ -99,14 +101,17 @@ type Base struct {
 
 	lastPass []stream.Time // per bucket; both states share the bucket space
 
-	// probeBuf and arrival are per-probe scratch reused across
+	// probeCache and arrival are per-probe scratch reused across
 	// ProbeOpposite calls so the memory-join hot path performs no
 	// allocation of its own (result construction still allocates, the
-	// probe machinery does not). Base is single-goroutine by contract
-	// (operators are serialised by their driver), so one scratch set per
-	// Base suffices.
-	probeBuf []*store.StoredTuple
-	arrival  store.StoredTuple
+	// probe machinery does not). probeCache[s] memoizes the last probe
+	// of States[s] (seq-guarded, see store.MemProbe), which turns a run
+	// of same-key probes against an unchanged state — the common shape
+	// inside a batch — into one hash + group lookup. Base is
+	// single-goroutine by contract (operators are serialised by their
+	// driver), so one scratch set per Base suffices.
+	probeCache [2]store.MemProbe
+	arrival    store.StoredTuple
 }
 
 // New builds a Base over two freshly created states with the same bucket
@@ -145,11 +150,14 @@ func (b *Base) emitPair(sideOfX int, x, y *store.StoredTuple) error {
 
 // ProbeOpposite joins a new arrival on side s against the opposite
 // state's memory-resident portion, emitting all results. It returns the
-// number of matches produced.
+// number of matches produced. Probes are memoized through the opposite
+// state's seq-guarded MemProbe: an identical-key probe with no state
+// mutation in between (a hot-key run inside a batch) is answered from
+// the cache, with the examined count a fresh probe would have reported.
 func (b *Base) ProbeOpposite(s int, t *stream.Tuple) (int, error) {
 	opp := b.States[1-s]
 	key := b.States[s].Key(t)
-	matches, examined := opp.ProbeMem(key, b.probeBuf[:0])
+	matches, examined := opp.ProbeMemCached(key, &b.probeCache[1-s])
 	b.M.Examined += int64(examined)
 	b.arrival = store.StoredTuple{T: t, DTS: store.InMemory}
 	for _, m := range matches {
@@ -157,14 +165,17 @@ func (b *Base) ProbeOpposite(s int, t *stream.Tuple) (int, error) {
 			return 0, err
 		}
 	}
-	n := len(matches)
-	// Clear the scratch so it never pins purged tuples, then keep the
-	// grown capacity for the next probe.
-	for i := range matches {
-		matches[i] = nil
-	}
-	b.probeBuf = matches[:0]
-	return n, nil
+	return len(matches), nil
+}
+
+// InvalidateProbeCache releases both sides' memoized probes so the
+// cache never pins tuples the states have purged or spilled. Owners
+// call it at batch boundaries and from Finish; correctness does not
+// depend on it (the seq guard already rejects stale hits), only GC
+// hygiene does.
+func (b *Base) InvalidateProbeCache() {
+	b.probeCache[0].Release()
+	b.probeCache[1].Release()
 }
 
 // Relocate implements the memory-overflow resolution (paper §3.3,

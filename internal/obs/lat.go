@@ -34,13 +34,18 @@ type Lat struct {
 	// DiskPass: wall-clock duration of one complete disk pass, blocking
 	// or chunked (start of the pass to its last chunk).
 	DiskPass *hist.Hist
+	// BatchFill: items per delivered batch (a count, not nanoseconds).
+	// One sample per ProcessBatch call; empty on the per-item path. Mean
+	// fill vs. the configured batch size shows whether the linger window
+	// or the size cap is cutting batches.
+	BatchFill *hist.Hist
 }
 
 // NewLat returns a Lat with all histograms allocated.
 func NewLat() *Lat {
 	return &Lat{
 		Result: hist.New(), PunctDelay: hist.New(), Purge: hist.New(),
-		DiskChunk: hist.New(), DiskPass: hist.New(),
+		DiskChunk: hist.New(), DiskPass: hist.New(), BatchFill: hist.New(),
 	}
 }
 
@@ -87,6 +92,14 @@ func (l *Lat) RecordDiskPass(ns int64) {
 	l.DiskPass.Record(ns)
 }
 
+// RecordBatchFill records one delivered batch's item count.
+func (l *Lat) RecordBatchFill(n int) {
+	if l == nil {
+		return
+	}
+	l.BatchFill.Record(int64(n))
+}
+
 // LatSnapshot is a point-in-time copy of a Lat, safe to merge and
 // serialise. The zero value is empty and merge-ready.
 type LatSnapshot struct {
@@ -95,6 +108,7 @@ type LatSnapshot struct {
 	Purge      hist.Snapshot
 	DiskChunk  hist.Snapshot
 	DiskPass   hist.Snapshot
+	BatchFill  hist.Snapshot
 }
 
 // Snapshot copies all histograms. Nil-safe (returns an empty snapshot).
@@ -108,6 +122,7 @@ func (l *Lat) Snapshot() LatSnapshot {
 		Purge:      l.Purge.Snapshot(),
 		DiskChunk:  l.DiskChunk.Snapshot(),
 		DiskPass:   l.DiskPass.Snapshot(),
+		BatchFill:  l.BatchFill.Snapshot(),
 	}
 }
 
@@ -119,4 +134,5 @@ func (s *LatSnapshot) Merge(o LatSnapshot) {
 	s.Purge.Merge(o.Purge)
 	s.DiskChunk.Merge(o.DiskChunk)
 	s.DiskPass.Merge(o.DiskPass)
+	s.BatchFill.Merge(o.BatchFill)
 }

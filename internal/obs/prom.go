@@ -72,8 +72,8 @@ func promSanitize(name string) string {
 // WriteProm renders the full /metrics payload: the latency histograms
 // under <prefix>_result_latency_ns / <prefix>_punct_delay_ns /
 // <prefix>_purge_duration_ns / <prefix>_disk_chunk_duration_ns /
-// <prefix>_disk_pass_duration_ns, then one gauge per live sample, sorted
-// by name for deterministic scrapes.
+// <prefix>_disk_pass_duration_ns / <prefix>_batch_fill, then one gauge
+// per live sample, sorted by name for deterministic scrapes.
 func WriteProm(w io.Writer, prefix string, lat LatSnapshot, gauges map[string]float64) error {
 	prefix = promSanitize(prefix)
 	if err := writePromHist(w, prefix+"_result_latency_ns",
@@ -94,6 +94,10 @@ func WriteProm(w io.Writer, prefix string, lat LatSnapshot, gauges map[string]fl
 	}
 	if err := writePromHist(w, prefix+"_disk_pass_duration_ns",
 		"Wall-clock duration of one complete disk-join pass (ns).", lat.DiskPass); err != nil {
+		return err
+	}
+	if err := writePromHist(w, prefix+"_batch_fill",
+		"Items per delivered input batch (count; empty on the per-item path).", lat.BatchFill); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(gauges))

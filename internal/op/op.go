@@ -40,6 +40,30 @@ func (c *Collector) Emit(it stream.Item) error {
 	return nil
 }
 
+// Grow pre-extends the collector's capacity for n more items, so a
+// batched producer pays one growth instead of per-append doublings.
+// Growth is geometric (at least double), never exact-fit: an exact-fit
+// grow would leave zero spare after the batch lands and re-copy the
+// whole collector on every subsequent batch — quadratic in total items.
+func (c *Collector) Grow(n int) {
+	if n <= 0 || cap(c.Items)-len(c.Items) >= n {
+		return
+	}
+	newCap := 2 * cap(c.Items)
+	if newCap < len(c.Items)+n {
+		newCap = len(c.Items) + n
+	}
+	grown := make([]stream.Item, len(c.Items), newCap)
+	copy(grown, c.Items)
+	c.Items = grown
+}
+
+// EmitBatch stores a whole batch with a single append.
+func (c *Collector) EmitBatch(items []stream.Item) error {
+	c.Items = append(c.Items, items...)
+	return nil
+}
+
 // Tuples returns only the data tuples received.
 func (c *Collector) Tuples() []*stream.Tuple {
 	var out []*stream.Tuple
@@ -114,6 +138,41 @@ type Operator interface {
 	// Finish flushes remaining state after all ports reached EOS. The
 	// operator must emit its own EOS downstream exactly once.
 	Finish(now stream.Time) error
+}
+
+// BatchProcessor is optionally implemented by operators that can
+// consume a whole batch of items per driver wakeup. ProcessBatch(port,
+// items, now) must be observably identical to calling Process(port, it,
+// it.Ts) for each item in order: same outputs, same errors, same
+// metrics. Batches may mix kinds (a flush triggered by a punctuation or
+// EOS carries it as the batch's last item), now is the timestamp of the
+// last item (so the non-decreasing clock rule applies to whole
+// batches), and the items slice is only valid for the duration of the
+// call — drivers recycle batch buffers.
+//
+// Drivers probe for the interface and fall back to per-item Process
+// (see ProcessAll), so implementing it is purely a performance
+// statement: amortize per-call overhead, batch probe work.
+type BatchProcessor interface {
+	ProcessBatch(port int, items []stream.Item, now stream.Time) error
+}
+
+// ProcessAll delivers a batch to o: through ProcessBatch when o
+// implements BatchProcessor, otherwise item by item. It is the generic
+// shim batching drivers use so plain operators keep working unchanged.
+func ProcessAll(o Operator, port int, items []stream.Item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if bp, ok := o.(BatchProcessor); ok {
+		return bp.ProcessBatch(port, items, items[len(items)-1].Ts)
+	}
+	for _, it := range items {
+		if err := o.Process(port, it, it.Ts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ValidatePort returns an error if port is outside [0, n).

@@ -73,7 +73,7 @@ func Run(sc *Scenario, v Variant, disableFault bool) *Outcome {
 	if err != nil {
 		return &Outcome{Err: err}
 	}
-	out := drive(j, sc)
+	out := drive(j, sc, v)
 	out.Tuples, out.Puncts, out.EOS = summarize(sink.items)
 	if jj, ok := j.(joinOp); ok {
 		out.Metrics = jj.Metrics()
@@ -90,7 +90,7 @@ func RunOracle(sc *Scenario) *Outcome {
 	if err != nil {
 		return &Outcome{Err: err}
 	}
-	out := drive(j, sc)
+	out := drive(j, sc, Variant{})
 	out.Tuples, out.Puncts, out.EOS = summarize(sink.items)
 	return out
 }
@@ -101,8 +101,12 @@ func RunOracle(sc *Scenario) *Outcome {
 // EOS appended for any port the schedule left open (the shrinker cuts
 // prefixes), then Finish. All operators are held to the same contract
 // (documented in internal/op): items in timestamp order, EOS once per
-// port, Finish only after EOS on both ports.
-func drive(j op.Operator, sc *Scenario) *Outcome {
+// port, Finish only after EOS on both ports. Variants with Batch > 1
+// take the batched delivery path instead (driveBatched).
+func drive(j op.Operator, sc *Scenario, v Variant) *Outcome {
+	if v.Batch > 1 {
+		return driveBatched(j, sc, v)
+	}
 	out := &Outcome{}
 	var last stream.Time
 	var eos [2]bool
@@ -125,6 +129,85 @@ func drive(j op.Operator, sc *Scenario) *Outcome {
 		case stream.KindEOS:
 			eos[a.Port] = true
 		}
+	}
+	for port := 0; port < 2; port++ {
+		if eos[port] {
+			continue
+		}
+		last++
+		if err := j.Process(port, stream.EOSItem(last), last); err != nil {
+			return fail(fmt.Errorf("EOS port %d: %w", port, err))
+		}
+	}
+	if err := j.Finish(last + 1); err != nil {
+		return fail(fmt.Errorf("Finish: %w", err))
+	}
+	return out
+}
+
+// driveBatched delivers the same schedule through op.ProcessAll in
+// batches of up to v.Batch consecutive same-port items — the oracle's
+// analogue of the executor's batched edges. Cut rules mirror exec:
+// non-tuple items (punctuations, EOS) always terminate their batch, a
+// port change cuts (the executor never mixes ports in one batch), a
+// positive Linger bounds the virtual-time span one batch may cover
+// (Linger 0 leaves the span unbounded, so size is the only cap), and
+// OnIdle pulses fire only between batches, after everything earlier in
+// the schedule has been delivered. op.BatchProcessor's equivalence
+// contract makes this observably identical to drive(); the differential
+// checks against the per-item shj oracle and the per-item reference
+// punctuation multiset are the enforcement.
+func driveBatched(j op.Operator, sc *Scenario, v Variant) *Outcome {
+	out := &Outcome{}
+	var (
+		last    stream.Time
+		eos     [2]bool
+		buf     []stream.Item
+		bufPort int
+	)
+	fail := func(err error) *Outcome { out.Err = err; return out }
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := op.ProcessAll(j, bufPort, buf)
+		last = buf[len(buf)-1].Ts
+		buf = buf[:0]
+		return err
+	}
+	for i, a := range sc.Arrivals {
+		idleDue := sc.IdleEvery > 0 && i%sc.IdleEvery == sc.IdleEvery-1
+		if len(buf) > 0 && (idleDue || a.Port != bufPort ||
+			(v.Linger > 0 && a.Item.Ts-buf[0].Ts > v.Linger)) {
+			if err := flush(); err != nil {
+				return fail(fmt.Errorf("batch before arrival %d: %w", i, err))
+			}
+		}
+		if idleDue && a.Item.Ts > last+1 {
+			if _, err := j.OnIdle(a.Item.Ts - 1); err != nil {
+				return fail(fmt.Errorf("OnIdle before arrival %d: %w", i, err))
+			}
+		}
+		if len(buf) == 0 {
+			bufPort = a.Port
+		}
+		buf = append(buf, a.Item)
+		switch a.Item.Kind {
+		case stream.KindTuple:
+			out.FedTuples[a.Port]++
+		case stream.KindPunct:
+			out.FedPuncts[a.Port]++
+		case stream.KindEOS:
+			eos[a.Port] = true
+		}
+		if a.Item.Kind != stream.KindTuple || len(buf) >= v.Batch {
+			if err := flush(); err != nil {
+				return fail(fmt.Errorf("batch at arrival %d (%v): %w", i, a.Item.Kind, err))
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return fail(fmt.Errorf("final batch: %w", err))
 	}
 	for port := 0; port < 2; port++ {
 		if eos[port] {
@@ -231,6 +314,16 @@ func checkObs(v Variant, out *Outcome) []Divergence {
 	}
 	if got := out.Lat.DiskPass.Count; got != m.DiskPasses {
 		bad("Lat.DiskPass.Count=%d, Metrics.DiskPasses=%d", got, m.DiskPasses)
+	}
+	// Batched delivery records one BatchFill sample per ProcessBatch
+	// call. The sharded router's Metrics sums per-shard sub-batches while
+	// its BatchFill histogram counts router-level batches, so the
+	// identity holds only for single-instance operators (and trivially —
+	// zero on both sides — for per-item rows).
+	if v.Shards <= 1 {
+		if got := out.Lat.BatchFill.Count; got != m.Batches {
+			bad("Lat.BatchFill.Count=%d, Metrics.Batches=%d", got, m.Batches)
+		}
 	}
 	return ds
 }

@@ -122,8 +122,8 @@ func TestGeneratorInvariants(t *testing.T) {
 
 func TestMatrixShape(t *testing.T) {
 	vs := Matrix()
-	if len(vs) != 96 {
-		t.Fatalf("matrix rows = %d, want 96", len(vs))
+	if len(vs) != 120 {
+		t.Fatalf("matrix rows = %d, want 120", len(vs))
 	}
 	seen := map[string]bool{}
 	for _, v := range vs {

@@ -15,6 +15,7 @@ import (
 	"pjoin/internal/parallel"
 	"pjoin/internal/shj"
 	"pjoin/internal/store"
+	"pjoin/internal/stream"
 	"pjoin/internal/xjoin"
 )
 
@@ -26,16 +27,19 @@ var ErrInjectedFault = errors.New("oracle: injected spill fault")
 
 // Variant is one operator configuration in the differential matrix.
 type Variant struct {
-	Op     string // "pjoin" or "xjoin"
-	Index  bool   // key-grouped state index on (off = scan fallback)
-	Chunk  int    // DiskChunkBytes: 0 blocking, else incremental passes
-	Shards int    // 1 = single instance; >1 = parallel.ShardedPJoin (pjoin only)
-	Cache  bool   // wrap spills in store.CachedSpill
-	Fault  bool   // wrap spills in store.NewFaultSpill(failAt = Scenario.FaultAt)
+	Op     string      // "pjoin" or "xjoin"
+	Index  bool        // key-grouped state index on (off = scan fallback)
+	Chunk  int         // DiskChunkBytes: 0 blocking, else incremental passes
+	Shards int         // 1 = single instance; >1 = parallel.ShardedPJoin (pjoin only)
+	Cache  bool        // wrap spills in store.CachedSpill
+	Fault  bool        // wrap spills in store.NewFaultSpill(failAt = Scenario.FaultAt)
+	Batch  int         // ≤1 = per-item delivery; >1 = drive via ProcessBatch, batches up to this size
+	Linger stream.Time // virtual span a batch may cover (0 = unbounded); only meaningful with Batch > 1
 }
 
 // String renders the variant in the replay-spec grammar, e.g.
-// "pjoin/idx/chunk=512/shards=2/cache" (flags omitted when off).
+// "pjoin/idx/chunk=512/shards=2/cache/batch=256/linger=1000000"
+// (flags omitted when off).
 func (v Variant) String() string {
 	parts := []string{v.Op}
 	if v.Index {
@@ -52,6 +56,12 @@ func (v Variant) String() string {
 	}
 	if v.Fault {
 		parts = append(parts, "fault")
+	}
+	if v.Batch > 1 {
+		parts = append(parts, "batch="+strconv.Itoa(v.Batch))
+		if v.Linger > 0 {
+			parts = append(parts, "linger="+strconv.FormatInt(int64(v.Linger), 10))
+		}
 	}
 	return strings.Join(parts, "/")
 }
@@ -85,6 +95,18 @@ func ParseVariant(s string) (Variant, error) {
 				return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
 			}
 			v.Shards = n
+		case strings.HasPrefix(p, "batch="):
+			n, err := strconv.Atoi(p[len("batch="):])
+			if err != nil || n < 1 {
+				return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
+			}
+			v.Batch = n
+		case strings.HasPrefix(p, "linger="):
+			n, err := strconv.ParseInt(p[len("linger="):], 10, 64)
+			if err != nil || n < 0 {
+				return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
+			}
+			v.Linger = stream.Time(n)
 		default:
 			return v, fmt.Errorf("oracle: bad variant part %q in %q", p, s)
 		}
@@ -96,7 +118,12 @@ func ParseVariant(s string) (Variant, error) {
 // PJoin × {index on/off} × {DiskChunkBytes ∈ {0, small, large}} ×
 // {1,2,4 shards} × {CachedSpill on/off} × {FaultSpill off/on}, plus
 // XJoin over the same non-sharded dimensions (XJoin has no sharded
-// wrapper). 72 PJoin rows + 24 XJoin rows.
+// wrapper): 72 PJoin rows + 24 XJoin rows, all driven per item. On top
+// of those, batched delivery (ProcessBatch with batch ∈ {8, 256} ×
+// linger ∈ {0, 1ms virtual}) over six representative configurations —
+// including a sharded row (router batching), a chunked+cached row, and
+// a fault row (the injected sentinel must surface identically through
+// the batch path): 24 more rows, 120 total.
 func Matrix() []Variant {
 	var vs []Variant
 	for _, index := range []bool{true, false} {
@@ -110,6 +137,22 @@ func Matrix() []Variant {
 					vs = append(vs, Variant{Op: "xjoin", Index: index, Chunk: chunk,
 						Shards: 1, Cache: cache, Fault: fault})
 				}
+			}
+		}
+	}
+	reps := []Variant{
+		{Op: "pjoin", Index: true, Shards: 1},
+		{Op: "pjoin", Index: false, Shards: 1},
+		{Op: "pjoin", Index: true, Chunk: 512, Shards: 1, Cache: true},
+		{Op: "pjoin", Index: true, Shards: 2},
+		{Op: "pjoin", Index: true, Shards: 1, Fault: true},
+		{Op: "xjoin", Index: true, Shards: 1},
+	}
+	for _, batch := range []int{8, 256} {
+		for _, linger := range []stream.Time{0, stream.Millisecond} {
+			for _, r := range reps {
+				r.Batch, r.Linger = batch, linger
+				vs = append(vs, r)
 			}
 		}
 	}

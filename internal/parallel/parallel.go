@@ -112,17 +112,21 @@ type msgKind uint8
 
 const (
 	msgItem msgKind = iota
+	msgBatch
 	msgIdle
 	msgPull
 	msgFinish
 )
 
-// message is one unit of work queued to a shard.
+// message is one unit of work queued to a shard. A msgBatch carries a
+// router-owned items slice (pool-recycled by the shard goroutine after
+// processing); all other kinds use item.
 type message struct {
-	kind msgKind
-	port int
-	item stream.Item
-	now  stream.Time
+	kind  msgKind
+	port  int
+	item  stream.Item
+	items []stream.Item
+	now   stream.Time
 }
 
 // shard is one key-space partition: a PJoin instance plus its queue.
@@ -167,11 +171,24 @@ type ShardedPJoin struct {
 	eos      [2]bool
 	finished bool
 
+	// shardBufs are the router's per-shard tuple accumulation buffers:
+	// ProcessBatch collects each shard's run of routed tuples here and
+	// flushes one msgBatch per shard instead of one channel send per
+	// tuple. Buffers are only ever non-empty inside one ProcessBatch
+	// call (every exit path flushes), so OnIdle / pull / Finish — which
+	// enqueue directly — can never overtake a buffered tuple and break
+	// the per-shard monotone timestamp contract. Router goroutine only.
+	shardBufs [][]stream.Item
+	batchPool sync.Pool
+
 	errMu sync.Mutex
 	err   error
 }
 
-var _ op.Operator = (*ShardedPJoin)(nil)
+var (
+	_ op.Operator       = (*ShardedPJoin)(nil)
+	_ op.BatchProcessor = (*ShardedPJoin)(nil)
+)
 
 // New builds a ShardedPJoin with cfg.Shards independent PJoin instances
 // and starts their goroutines. The shards are live from this point on;
@@ -228,8 +245,27 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 		go j.runShard(sh)
 	}
 	j.outSc = j.shards[0].pj.OutSchema()
+	j.shardBufs = make([][]stream.Item, cfg.Shards)
 	j.registerGauges()
 	return j, nil
+}
+
+// getBatch takes a recycled items slice from the pool (or allocates).
+func (j *ShardedPJoin) getBatch() []stream.Item {
+	if b, ok := j.batchPool.Get().(*[]stream.Item); ok {
+		return (*b)[:0]
+	}
+	return make([]stream.Item, 0, 64)
+}
+
+// putBatch clears a batch (so it pins no tuples) and returns it to the
+// pool. Called by shard goroutines after processing a msgBatch.
+func (j *ShardedPJoin) putBatch(b []stream.Item) {
+	for i := range b {
+		b[i] = stream.Item{}
+	}
+	b = b[:0]
+	j.batchPool.Put(&b)
 }
 
 // registerGauges exposes the aggregated (cross-shard) live metrics. The
@@ -262,6 +298,9 @@ func (j *ShardedPJoin) runShard(sh *shard) {
 	defer close(sh.done)
 	for msg := range sh.in {
 		if sh.failed {
+			if msg.kind == msgBatch {
+				j.putBatch(msg.items)
+			}
 			continue // drain so the router never blocks on a dead shard
 		}
 		sh.mu.Lock()
@@ -269,6 +308,8 @@ func (j *ShardedPJoin) runShard(sh *shard) {
 		switch msg.kind {
 		case msgItem:
 			err = sh.pj.Process(msg.port, msg.item, msg.now)
+		case msgBatch:
+			err = sh.pj.ProcessBatch(msg.port, msg.items, msg.now)
 		case msgIdle:
 			_, err = sh.pj.OnIdle(msg.now)
 		case msgPull:
@@ -277,6 +318,9 @@ func (j *ShardedPJoin) runShard(sh *shard) {
 			err = sh.pj.Finish(msg.now)
 		}
 		sh.mu.Unlock()
+		if msg.kind == msgBatch {
+			j.putBatch(msg.items)
+		}
 		if err != nil {
 			sh.failed = true
 			j.fail(err)
@@ -380,6 +424,70 @@ func (j *ShardedPJoin) Process(port int, it stream.Item, now stream.Time) error 
 		return fmt.Errorf("parallel: %s: unknown item kind %v", j.Name(), it.Kind)
 	}
 	return nil
+}
+
+// ProcessBatch implements op.BatchProcessor for the router: one call
+// routes a whole batch, accumulating each shard's run of tuples into a
+// per-shard buffer and sending one msgBatch per shard instead of one
+// queue operation per tuple. Punctuations and EOS are batch boundaries:
+// every buffered tuple is flushed to its shard first, then the item
+// goes through the per-item Process path unchanged — which preserves
+// both the notePunctArrival-before-broadcast ordering the merger's
+// delay accounting relies on and the per-shard FIFO of tuples before
+// the punctuation. Per-tuple routing observability (routed counters,
+// shard-route trace events) is identical to the per-item path.
+func (j *ShardedPJoin) ProcessBatch(port int, items []stream.Item, now stream.Time) error {
+	if err := op.ValidatePort(j.Name(), port, 2); err != nil {
+		return err
+	}
+	if j.finished {
+		return fmt.Errorf("parallel: %s: Process after Finish", j.Name())
+	}
+	if err := j.errNow(); err != nil {
+		return fmt.Errorf("parallel: %s: shard failed: %w", j.Name(), err)
+	}
+	j.lat.RecordBatchFill(len(items))
+	j.instr.Tick(now)
+	attr := j.attrs[port]
+	for _, it := range items {
+		if it.Kind != stream.KindTuple {
+			j.flushShardBufs(port)
+			if err := j.Process(port, it, it.Ts); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(it.Tuple.Values) <= attr {
+			j.flushShardBufs(port)
+			return fmt.Errorf("parallel: %s: tuple width %d lacks join attribute %d",
+				j.Name(), len(it.Tuple.Values), attr)
+		}
+		s := int(it.Tuple.Values[attr].Hash() % uint64(len(j.shards)))
+		j.shards[s].routed.Add(1)
+		j.instr.Event(obs.KindShardRoute, it.Ts, port, int64(s), 0)
+		if j.shardBufs[s] == nil {
+			j.shardBufs[s] = j.getBatch()
+		}
+		j.shardBufs[s] = append(j.shardBufs[s], it)
+	}
+	j.flushShardBufs(port)
+	return nil
+}
+
+// flushShardBufs sends every non-empty per-shard buffer as one msgBatch
+// (ownership passes to the shard goroutine, which recycles it).
+func (j *ShardedPJoin) flushShardBufs(port int) {
+	for s, buf := range j.shardBufs {
+		if buf == nil {
+			continue
+		}
+		j.shardBufs[s] = nil
+		if len(buf) == 0 {
+			j.putBatch(buf)
+			continue
+		}
+		j.send(j.shards[s], message{kind: msgBatch, port: port, items: buf, now: buf[len(buf)-1].Ts})
+	}
 }
 
 // OnIdle implements op.Operator: the idle signal is offered to every
@@ -497,7 +605,13 @@ func (j *ShardedPJoin) Latencies() obs.LatSnapshot {
 		out.DiskChunk.Merge(s.DiskChunk)
 		out.DiskPass.Merge(s.DiskPass)
 	}
-	out.PunctDelay = j.lat.Snapshot().PunctDelay
+	// PunctDelay and BatchFill are router-owned: the join-wide delay is
+	// arrival → alignment-complete, and the join-wide batch fill is the
+	// router's delivered batches (shard-local sub-batches would inflate
+	// the sample count by the fan-out).
+	snap := j.lat.Snapshot()
+	out.PunctDelay = snap.PunctDelay
+	out.BatchFill = snap.BatchFill
 	return out
 }
 

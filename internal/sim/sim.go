@@ -37,6 +37,7 @@ type CostModel struct {
 	PerSpillTuple stream.Time // per tuple serialised during relocation
 	PerIOOp       stream.Time // per spill-store read/write operation (seek)
 	PerIOByte     stream.Time // per byte moved to/from the spill store
+	PerBatch      stream.Time // fixed cost per delivered batch (wakeup, dispatch); 0 by default — the simulator drives per item, so committed figures are unaffected
 }
 
 // DefaultCosts returns the calibrated cost model used by the paper
@@ -86,6 +87,7 @@ func (d CostModel) Charge(m joinbase.Metrics) stream.Time {
 	cost += d.PerDiskPair * stream.Time(m.DiskExamined)
 	cost += d.PerDiskChunk * stream.Time(m.DiskChunks)
 	cost += d.PerSpillTuple * stream.Time(m.SpilledTuples)
+	cost += d.PerBatch * stream.Time(m.Batches)
 	return cost
 }
 

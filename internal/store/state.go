@@ -106,6 +106,13 @@ type State struct {
 	occ  occTracker
 	hash func(value.Value) uint64
 
+	// seq counts mutations of the memory portion (inserts, purges,
+	// expiry, spills). A MemProbe memoized at sequence s is valid as
+	// long as seq == s: no tuple entered or left memory since, so a
+	// fresh probe would return the identical matches and examined
+	// count. This is what makes ProbeMemCached's hit path exact.
+	seq uint64
+
 	// scanProbe selects the pre-index fallback: probes walk the whole
 	// bucket (examined = occupancy) instead of resolving the key's group.
 	// The group index is still maintained; only the probe path and its
@@ -185,6 +192,7 @@ func (st *State) Insert(t *stream.Tuple) (*StoredTuple, error) {
 	h := st.hash(key)
 	i := int(h % uint64(len(st.bkts)))
 	s := st.al.newStored(t)
+	st.seq++
 	if st.bkts[i].mem.insert(&st.al, key, h, s) {
 		st.stats.MemGroups++
 	}
@@ -222,6 +230,50 @@ func (st *State) ProbeMem(key value.Value, dst []*StoredTuple) (matches []*Store
 	return dst, g.n
 }
 
+// MemProbe memoizes one ProbeMem result so a run of same-key probes
+// against an unchanged memory portion pays the hash + group lookup
+// once. The matches slice doubles as the probe's scratch buffer, so a
+// MemProbe also replaces a caller-held reusable []*StoredTuple.
+type MemProbe struct {
+	seq      uint64
+	key      value.Value
+	valid    bool
+	matches  []*StoredTuple
+	examined int
+}
+
+// Release invalidates the memoized result and drops the stored-tuple
+// pointers (the slice capacity is kept). Call it when the probed state
+// may purge tuples the cache pins, e.g. at a batch boundary.
+func (mp *MemProbe) Release() {
+	mp.valid = false
+	mp.key = value.Value{}
+	for i := range mp.matches {
+		mp.matches[i] = nil
+	}
+	mp.matches = mp.matches[:0]
+}
+
+// ProbeMemCached is ProbeMem with memoization: if mp holds the result
+// of a probe for the same key and the memory portion has not mutated
+// since (seq guard), the memoized matches and examined count are
+// returned without touching the index — bit-identical to a fresh probe,
+// including the cost accounting. On a miss it probes normally and
+// memoizes into mp.
+func (st *State) ProbeMemCached(key value.Value, mp *MemProbe) (matches []*StoredTuple, examined int) {
+	if mp.valid && mp.seq == st.seq && mp.key.Equal(key) {
+		return mp.matches, mp.examined
+	}
+	for i := range mp.matches {
+		mp.matches[i] = nil
+	}
+	mp.matches, mp.examined = st.ProbeMem(key, mp.matches[:0])
+	mp.seq = st.seq
+	mp.key = key
+	mp.valid = true
+	return mp.matches, mp.examined
+}
+
 // MemBytes returns the in-memory byte accounting (mem portion only; the
 // purge buffer is counted separately since it is about to leave).
 func (st *State) MemBytes() int64 { return st.stats.MemBytes }
@@ -253,6 +305,9 @@ func (st *State) FilterMem(i int, drop func(*StoredTuple) bool) []*StoredTuple {
 		}
 		n = next
 	}
+	if len(removed) > 0 {
+		st.seq++
+	}
 	return removed
 }
 
@@ -268,6 +323,7 @@ func (st *State) TakeKeyGroup(key value.Value) (bucket int, removed []*StoredTup
 	if len(removed) == 0 {
 		return bucket, nil
 	}
+	st.seq++
 	st.stats.MemTuples -= len(removed)
 	st.stats.MemGroups--
 	for _, s := range removed {
@@ -293,6 +349,9 @@ func (st *State) ExpireMemPrefix(i int, cutoff stream.Time) []*StoredTuple {
 		st.removeAccounting(i, n.s, b.mem.unlink(&st.al, n))
 		st.al.freeNode(n)
 		n = next
+	}
+	if len(expired) > 0 {
+		st.seq++
 	}
 	return expired
 }
@@ -327,6 +386,7 @@ func (st *State) SpillBucket(i int, now stream.Time) (int, error) {
 	if n == 0 {
 		return 0, nil
 	}
+	st.seq++
 	var buf []byte
 	for nd := b.mem.ahead; nd != nil; nd = nd.anext {
 		nd.s.DTS = now

@@ -84,7 +84,10 @@ type XJoin struct {
 	finished bool
 }
 
-var _ op.Operator = (*XJoin)(nil)
+var (
+	_ op.Operator       = (*XJoin)(nil)
+	_ op.BatchProcessor = (*XJoin)(nil)
+)
 
 // New builds an XJoin bound to out.
 func New(cfg Config, out op.Emitter) (*XJoin, error) {
@@ -338,6 +341,20 @@ func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
 	default:
 		return fmt.Errorf("xjoin: unknown item kind %v", it.Kind)
 	}
+}
+
+// ProcessBatch implements op.BatchProcessor: per-item semantics, one
+// driver wakeup per batch. See core.PJoin.ProcessBatch.
+func (x *XJoin) ProcessBatch(port int, items []stream.Item, now stream.Time) error {
+	x.base.M.Batches++
+	x.lat.RecordBatchFill(len(items))
+	for _, it := range items {
+		if err := x.Process(port, it, it.Ts); err != nil {
+			return err
+		}
+	}
+	x.base.InvalidateProbeCache()
+	return nil
 }
 
 // OnIdle implements op.Operator: XJoin's reactive background stage.
