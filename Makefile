@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check oracle fuzz bench bench-alloc bench-scaling flight-sample
+.PHONY: build test vet race check oracle traced-oracle fuzz bench bench-alloc bench-scaling flight-sample trace-sample
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ ORACLE_SEEDS ?= 200
 oracle:
 	ORACLE_SEEDS=$(ORACLE_SEEDS) $(GO) test ./internal/oracle/ -run TestSoak -count=1 -timeout 600s -v
 
+# Traced-oracle soak: the same seeded scenarios run with the provenance
+# span recorder attached over the mechanism-diverse traced variant
+# slice, reconciling span attribution against operator metrics — Σ
+# purge-span drops == Metrics.Purged, every punctuation lifecycle
+# closes, every pass trace is start/io/end. See DESIGN.md §13.
+traced-oracle:
+	ORACLE_SEEDS=$(ORACLE_SEEDS) $(GO) test ./internal/oracle/ -run TestTracedOracle -count=1 -timeout 600s -v
+
 # Short coverage-guided fuzz of the oracle's scenario decoder + a
 # mechanism-diverse variant slice. Corpus under
 # internal/oracle/testdata/fuzz; crashes land there as pinned inputs.
@@ -55,12 +63,23 @@ bench:
 	$(GO) run ./cmd/pjoinbench -bench4 BENCH_4.json
 	$(GO) run ./cmd/pjoinbench -bench5 BENCH_5.json
 	$(GO) run ./cmd/pjoinbench -bench6 BENCH_6.json
+	$(GO) run ./cmd/pjoinbench -bench7 BENCH_7.json
 
 # Fault-injection flight-recorder sample: wedge a join on a failing
 # spill device, let the lag SLO fire, dump the last trace events +
 # histogram snapshots.
 flight-sample:
 	$(GO) run ./cmd/pjoinbench -flight-sample flight-sample.jsonl.gz
+
+# End-to-end provenance sample: a traced auctiond run (every tuple
+# sampled so the report has full critical paths) analyzed by
+# pjointrace. -strict makes lifecycle violations (orphan spans,
+# unclosed punctuation traces) fail the target, so this doubles as an
+# integration check of the whole trace → analyze path.
+trace-sample:
+	$(GO) run ./cmd/auctiond -items 500 -trace trace-sample.jsonl.gz -trace-sample 1
+	$(GO) run ./cmd/pjointrace -strict trace-sample.jsonl.gz > trace-sample.report.txt
+	cat trace-sample.report.txt
 
 # Hot-path allocation micro-benchmarks (probe/insert, punctuation
 # matching). Run with -benchmem semantics via b.ReportAllocs().

@@ -23,6 +23,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -http server
@@ -34,16 +35,19 @@ import (
 	"pjoin/internal/gen"
 	"pjoin/internal/obs"
 	"pjoin/internal/obs/health"
+	"pjoin/internal/obs/span"
 	"pjoin/internal/op"
 	"pjoin/internal/store"
 	"pjoin/internal/stream"
 )
 
-// metricsHandler serves the join's latency histograms and live gauges
-// in Prometheus text exposition format (0.0.4). Latencies() snapshots
-// are atomic reads, and LastValues() is mutex-guarded, so scraping is
-// safe while the pipeline runs.
-func metricsHandler(join *core.PJoin, live *obs.Live) http.HandlerFunc {
+// metricsHandler serves the join's latency histograms, live gauges and
+// provenance-span counters in Prometheus text exposition format
+// (0.0.4). Latencies() snapshots are atomic reads, LastValues() is
+// mutex-guarded, and the span counters are mutex/atomic snapshots, so
+// scraping is safe while the pipeline runs. spans and sampler may be
+// nil (-trace off); the span families then render as zeros.
+func metricsHandler(join *core.PJoin, live *obs.Live, spans *span.JSONL, sampler *span.Sampler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		gauges := map[string]float64{}
 		if live != nil {
@@ -55,6 +59,15 @@ func metricsHandler(join *core.PJoin, live *obs.Live) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := obs.WriteProm(w, "pjoin", join.Latencies(), gauges); err != nil {
+			log.Printf("auctiond: /metrics: %v", err)
+			return
+		}
+		var counts []int64
+		if spans != nil {
+			c := spans.Counts()
+			counts = c[:]
+		}
+		if err := obs.WritePromSpans(w, "pjoin", counts, sampler.Sampled(), sampler.Dropped()); err != nil {
 			log.Printf("auctiond: /metrics: %v", err)
 		}
 	}
@@ -75,6 +88,8 @@ func main() {
 		cacheMB  = flag.Int("spill-cache-mb", 0, "wrap the join's spill stores in an LRU block cache of this many MiB (0 = no cache)")
 		batchN   = flag.Int("batch", 0, "deliver items to operators in batches of up to this size (<= 1 = per item); punctuations and EOS always flush the batch")
 		lingerMs = flag.Int("batch-linger-ms", 0, "bound how long a tuple may wait in an edge buffer before its batch is cut (0 = flush on every emit); only meaningful with -batch > 1")
+		tracePth = flag.String("trace", "", "write a provenance span trace (JSONL, .gz compresses) to this path; analyze with pjointrace")
+		traceN   = flag.Int("trace-sample", 64, "with -trace, admit one in N tuples into provenance tracing (1 = every tuple); punctuation and disk-pass spans are always recorded")
 	)
 	flag.Parse()
 
@@ -128,18 +143,41 @@ func main() {
 		ring = obs.NewRing(256)
 		tracer = ring
 	}
+	// -trace attaches the provenance span layer: punctuation lifecycles
+	// and disk passes are always recorded, tuples through the sampler.
+	var spanSink io.WriteCloser
+	var spans *span.JSONL
+	var sampler *span.Sampler
+	if *tracePth != "" {
+		var err error
+		spanSink, err = obs.CreateSink(*tracePth)
+		if err != nil {
+			log.Fatalf("auctiond: -trace: %v", err)
+		}
+		spans = span.NewJSONL(spanSink)
+		sampler = span.NewSampler(*traceN)
+	}
 
 	p := exec.NewPipeline()
 	// Batch settings must be in place before edges are created: an edge's
 	// delivery mode is fixed at creation.
 	p.BatchSize = *batchN
 	p.BatchLinger = time.Duration(*lingerMs) * time.Millisecond
+	p.SpanSampler = sampler
+	var spTr span.Tracer
+	if spans != nil {
+		spTr = spans
+		// The pipeline handle carries the span tracer so the executor's
+		// own provenance (source ingest, edge cuts, driver delivery)
+		// lands in the same trace file as the join's.
+		p.Obs = obs.NewInstrSpans(nil, nil, spans, "exec")
+	}
 	srcOpen, srcBid, joined, grouped := p.Edge(), p.Edge(), p.Edge(), p.Edge()
 	cfg := core.Config{
 		SchemaA: gen.OpenSchema, SchemaB: gen.BidSchema,
 		AttrA: 0, AttrB: 0, OutName: "Out1",
 		VerifyPunctuations: true,
-		Instr:              obs.NewInstr(tracer, live, "join"),
+		Instr:              obs.NewInstrSpans(tracer, live, spTr, "join"),
 		DiskChunkBytes:     *chunkKB << 10,
 	}
 	cfg.Thresholds.Purge = *purge
@@ -187,7 +225,7 @@ func main() {
 	sink := p.Sink(grouped)
 
 	if *httpAddr != "" {
-		http.HandleFunc("/metrics", metricsHandler(join, live))
+		http.HandleFunc("/metrics", metricsHandler(join, live, spans, sampler))
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				log.Printf("auctiond: http: %v", err)
@@ -229,6 +267,17 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+
+	if spans != nil {
+		if err := spans.Flush(); err != nil {
+			log.Printf("auctiond: trace flush: %v", err)
+		}
+		if err := spanSink.Close(); err != nil {
+			log.Printf("auctiond: trace close: %v", err)
+		}
+		fmt.Printf("trace:    %d spans (%d tuples sampled, %d passed over) -> %s\n",
+			spans.Events(), sampler.Sampled(), sampler.Dropped(), *tracePth)
+	}
 
 	if *verbose {
 		for _, t := range sink.Tuples() {

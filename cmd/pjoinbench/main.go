@@ -22,6 +22,8 @@
 //	pjoinbench -bench6 BENCH_6.json         # batched dataflow sweep: memoized-probe
 //	                                        # micro + pipeline throughput per batch x linger
 //	pjoinbench -bench6 b6.json -batch 256 -batch-linger-ms 1  # one cell vs per-item
+//	pjoinbench -bench7 BENCH_7.json         # provenance-tracing overhead sweep:
+//	                                        # detached / sampled 1-in-64 / full
 //	pjoinbench -fig 9 -disk-chunk-kb 64     # run any figure with incremental passes
 //	pjoinbench -fig 9 -spill-cache-mb 4     # ... and/or a spill block cache
 //	pjoinbench -flight-sample flight.jsonl.gz  # fault-injection flight dump
@@ -59,6 +61,7 @@ func main() {
 		bench4 = flag.String("bench4", "", "write the latency summary JSON (result-latency + punct-delay quantiles per punctuation rate) to this file")
 		bench5 = flag.String("bench5", "", "write the incremental disk-join sweep JSON (result-latency quantiles per chunk budget + spill-cache hit ratio) to this file")
 		bench6 = flag.String("bench6", "", "write the batched-dataflow sweep JSON (memoized-probe micro + live-pipeline throughput and punct delay per batch x linger) to this file")
+		bench7 = flag.String("bench7", "", "write the provenance-tracing overhead sweep JSON (detached / sampled 1-in-64 / full, tuples/s regression vs detached) to this file")
 		flight = flag.String("flight-sample", "", "run the fault-injection flight-recorder scenario and write the dump to this file (.gz compresses)")
 
 		chunkKB  = flag.Int("disk-chunk-kb", 0, "run disk passes incrementally with this per-step read budget in KiB (0 = blocking)")
@@ -157,6 +160,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *bench6)
+		return
+	}
+
+	if *bench7 != "" {
+		rep, err := bench.RunBench7(bench.RunConfig{
+			Seed: *seed, Quick: *quick, Batch: *batchN,
+		}, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench7: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*bench7)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pjoinbench: bench7: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bench7)
 		return
 	}
 

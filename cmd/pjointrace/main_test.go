@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pjoin/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report from the current analyzer output")
+
+// TestGoldenReport pins the full report on a committed mini trace (two
+// closed punctuation lifecycles, one unclosed, a chunked disk pass, a
+// sampled tuple with two results, one foreign obs line) cross-referenced
+// against a committed flight dump. Every number in the report is derived
+// from the trace, so the output is bit-deterministic. Regenerate with
+// `go test ./cmd/pjointrace -update` after an intentional format change.
+func TestGoldenReport(t *testing.T) {
+	var buf bytes.Buffer
+	problems, err := analyze(&buf, []string{filepath.Join("testdata", "mini.jsonl")},
+		filepath.Join("testdata", "mini_flight.jsonl"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mini trace deliberately contains exactly one unclosed
+	// lifecycle (trace 102), which -strict would flag.
+	if problems != 1 {
+		t.Errorf("problems = %d, want 1 (the unclosed trace 102)", problems)
+	}
+	golden := filepath.Join("testdata", "mini.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden (run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestAnalyzeTolerantTruncatedGzip: a trace whose gzip footer was lost
+// (crashed run) still analyzes in full — the deflate stream is intact,
+// only the 8-byte RFC 1952 trailer is missing, and the tolerant reader
+// forgives exactly that.
+func TestAnalyzeTolerantTruncatedGzip(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "mini.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "mini.jsonl.gz")
+	w, err := obs.CreateSink(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.jsonl.gz")
+	if err := os.WriteFile(trunc, full[:len(full)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var want, got bytes.Buffer
+	if _, err := analyze(&want, []string{filepath.Join("testdata", "mini.jsonl")}, "", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analyze(&got, []string{trunc}, "", 10); err != nil {
+		t.Fatalf("truncated-trailer trace failed to analyze: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("truncated-trailer report differs from plain report:\n--- got ---\n%s\n--- want ---\n%s",
+			got.Bytes(), want.Bytes())
+	}
+}
+
+// TestAnalyzeRejectsMalformedSpan: a corrupted span line is a hard
+// error, not a silent skip — an analyzer that quietly drops records
+// would undermine the reconciliation story.
+func TestAnalyzeRejectsMalformedSpan(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"sp":"punct_arrive","id":xx}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := analyze(&buf, []string{bad}, "", 10); err == nil ||
+		!strings.Contains(err.Error(), "span:") {
+		t.Fatalf("analyze(malformed) err = %v, want span parse error", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
 	"pjoin/internal/obs"
+	"pjoin/internal/obs/span"
 	"pjoin/internal/op"
 	"pjoin/internal/punct"
 	"pjoin/internal/store"
@@ -171,6 +172,20 @@ type PJoin struct {
 	// propPending records that a propagation release arrived while an
 	// incremental pass was in flight; the pass's completion re-runs it.
 	propPending bool
+	// passTrace is the provenance trace of the in-flight (or, for the
+	// blocking path, current) disk pass; passIOBase / passWorkBase are
+	// the I/O and work counters at pass start, passStepIO at the start
+	// of the current chunk step. Maintained only when spans are on.
+	passTrace    uint64
+	passIOBase   passIO
+	passStepIO   passIO
+	passExamBase int64
+	passJoinBase int64
+	passStepExam int64
+	passStepJoin int64
+	// resultSpanBudget caps tuple_result spans per probe burst at
+	// span.ResultCap; reset before each memory probe and disk-pass step.
+	resultSpanBudget int
 	// dropBound, per side: the largest pid in that side's punctuation
 	// set when the current pass bucket opened. Disk purge only drops on
 	// entries at or below the bound — see passHooks.
@@ -264,6 +279,10 @@ func New(cfg Config, out op.Emitter) (*PJoin, error) {
 		// A result's timestamp is the max of its constituents' (Tuple.Join),
 		// so now − Ts is how long the older partner waited in state.
 		j.lat.RecordResult(j.now, t.Ts)
+		if t.Span != 0 && j.resultSpanBudget > 0 && j.obs.SpansEnabled() {
+			j.resultSpanBudget--
+			j.obs.Span(span.KindTupleResult, t.Span, j.now, -1, 0, 0, 0, int64(j.now-t.Ts))
+		}
 		return out.Emit(stream.TupleItem(t))
 	})
 	if err != nil {
@@ -466,7 +485,7 @@ func (j *PJoin) Process(port int, it stream.Item, now stream.Time) error {
 		}
 		return j.pumpDisk(j.now)
 	case stream.KindPunct:
-		if err := j.processPunct(port, it.Punct, it.Ts); err != nil {
+		if err := j.processPunct(port, it.Punct, it.Ts, it.Span); err != nil {
 			return err
 		}
 		return j.pumpDisk(j.now)
@@ -532,29 +551,47 @@ func (j *PJoin) processTuple(s int, t *stream.Tuple) error {
 		}
 	}
 
+	examBefore := j.base.M.Examined
+	j.resultSpanBudget = span.ResultCap
 	matches, err := j.base.ProbeOpposite(s, t)
 	if err != nil {
 		return err
 	}
 	j.obs.Event(obs.KindProbe, t.Ts, s, int64(matches), 0)
+	if t.Span != 0 && j.obs.SpansEnabled() {
+		j.obs.Span(span.KindTupleProbe, t.Span, t.Ts, s,
+			int64(matches), j.base.M.Examined-examBefore, 0, 0)
+	}
 
 	// Drop-on-the-fly (§4.3): the opposite punctuation set promises no
 	// future opposite tuple matches this key, so the tuple need never
 	// enter the state — unless the opposite state still has
 	// disk-resident tuples in this bucket, which this tuple has not yet
 	// joined against; then it parks in the purge buffer until the next
-	// disk pass.
-	if !j.cfg.DisableDropOnTheFly && !j.cfg.DisablePurge &&
-		j.psets[1-s].SetMatchAttr(j.attrs[1-s], key) {
-		own := j.base.States[s]
-		bucket := own.BucketOf(key)
-		if j.base.States[1-s].HasDisk(bucket) {
-			st := &store.StoredTuple{T: t, PID: punct.NoPID, DTS: store.InMemory}
-			own.AddToPurgeBuffer(bucket, st, t.Ts)
-		} else {
-			j.base.M.DroppedOnFly++
+	// disk pass. FirstMatchAttr (what SetMatchAttr wraps) also resolves
+	// the earliest punctuation promising the exhaustion — the one span
+	// tracing attributes the drop to.
+	if !j.cfg.DisableDropOnTheFly && !j.cfg.DisablePurge {
+		if e := j.psets[1-s].FirstMatchAttr(j.attrs[1-s], key); e != nil {
+			own := j.base.States[s]
+			bucket := own.BucketOf(key)
+			parked := j.base.States[1-s].HasDisk(bucket)
+			if parked {
+				st := &store.StoredTuple{T: t, PID: punct.NoPID, DTS: store.InMemory}
+				own.AddToPurgeBuffer(bucket, st, t.Ts)
+			} else {
+				j.base.M.DroppedOnFly++
+			}
+			if e.TraceID != 0 && j.obs.SpansEnabled() {
+				var dropped, park int64 = 1, 0
+				if parked {
+					dropped, park = 0, 1
+				}
+				j.obs.Span(span.KindPunctDropFly, e.TraceID, t.Ts, s,
+					dropped, park, int64(t.EncodedSize()), 0)
+			}
+			return nil
 		}
-		return nil
 	}
 
 	if _, err := j.base.States[s].Insert(t); err != nil {
@@ -565,8 +602,10 @@ func (j *PJoin) processTuple(s int, t *stream.Tuple) error {
 
 // processPunct records a punctuation into its side's set and lets the
 // monitor fire whatever components are due (state purge, index build,
-// propagation).
-func (j *PJoin) processPunct(s int, p punct.Punctuation, ts stream.Time) error {
+// propagation). trace is the punctuation's provenance trace if an
+// upstream component (the sharded router) already allocated one; 0
+// makes this operator the trace root.
+func (j *PJoin) processPunct(s int, p punct.Punctuation, ts stream.Time, trace uint64) error {
 	j.base.M.PunctsIn[s]++
 	j.obs.Event(obs.KindPunctIn, ts, s, 0, 0)
 	if p.IsEmpty() {
@@ -583,6 +622,13 @@ func (j *PJoin) processPunct(s int, p punct.Punctuation, ts stream.Time) error {
 		return err
 	}
 	e.ArrivedAt = int64(ts)
+	if j.obs.SpansEnabled() {
+		if trace == 0 {
+			trace = span.NewID()
+		}
+		e.TraceID = trace
+		j.obs.Span(span.KindPunctArrive, trace, ts, s, int64(e.PID), 0, 0, 0)
+	}
 	if j.cfg.EagerIndex && !j.cfg.DisablePropagation {
 		j.indexBuild(s)
 	}
@@ -629,6 +675,27 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	attr := j.attrs[victim]
 	oppAttr := j.attrs[1-victim]
 
+	// Provenance attribution: each removed tuple is charged to the
+	// earliest-arrived punctuation that exhausts its key — the entry the
+	// purge logic itself reasons from (FirstMatchAttr). Shares accumulate
+	// per trace across the whole run and flush as one punct_purge_mem
+	// span per punctuation when the run ends. Only allocated when spans
+	// are on; the untraced purge path is unchanged.
+	spansOn := j.obs.SpansEnabled()
+	var shares map[uint64]*purgeShare
+	if spansOn {
+		shares = make(map[uint64]*purgeShare)
+	}
+	emitPurgeSpans := func() {
+		if len(shares) == 0 {
+			return
+		}
+		d := time.Since(purgeStart).Nanoseconds()
+		for tr, sh := range shares {
+			j.obs.Span(span.KindPunctPurgeMem, tr, now, victim, sh.freed, sh.parked, sh.bytes, d)
+		}
+	}
+
 	// finish completes the removal of one bucket's matching tuples,
 	// identically on every path: park them in the purge buffer when the
 	// opposite bucket still has disk-resident partners, else discard.
@@ -637,7 +704,27 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 			return
 		}
 		removedRun += int64(len(removed))
-		if opp.HasDisk(i) {
+		park := opp.HasDisk(i)
+		if spansOn {
+			for _, sd := range removed {
+				e := pset.FirstMatchAttr(oppAttr, sd.T.Values[attr])
+				if e == nil || e.TraceID == 0 {
+					continue
+				}
+				sh := shares[e.TraceID]
+				if sh == nil {
+					sh = &purgeShare{}
+					shares[e.TraceID] = sh
+				}
+				if park {
+					sh.parked++
+				} else {
+					sh.freed++
+					sh.bytes += int64(sd.T.EncodedSize())
+				}
+			}
+		}
+		if park {
 			for _, sd := range removed {
 				st.AddToPurgeBuffer(i, sd, now)
 			}
@@ -663,6 +750,7 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 				return pset.SetMatchAttr(oppAttr, sd.T.Values[attr])
 			}))
 		}
+		emitPurgeSpans()
 		j.lat.RecordPurge(time.Since(purgeStart).Nanoseconds())
 		j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
 		return nil
@@ -735,9 +823,18 @@ func (j *PJoin) purgeState(victim int, now stream.Time) error {
 	if !j.cfg.DisableDropOnTheFly {
 		j.purgeMark[victim] = pset.MaxPID()
 	}
+	emitPurgeSpans()
 	j.lat.RecordPurge(time.Since(purgeStart).Nanoseconds())
 	j.obs.Event(obs.KindPurge, now, victim, removedRun, scannedRun)
 	return nil
+}
+
+// purgeShare accumulates one punctuation's slice of a purge run for
+// provenance: tuples freed outright, tuples parked for a disk pass, and
+// the bytes the freed tuples occupied (stream.Tuple.EncodedSize — the
+// same measure the state's MemBytes accounting uses).
+type purgeShare struct {
+	freed, parked, bytes int64
 }
 
 // discard finalises a tuple's removal from the state: its punctuation's
@@ -823,6 +920,18 @@ func (j *PJoin) propagate(now stream.Time) error {
 			// entries whose counts may under-count disk-resident tuples
 			// are disk-pending and skipped below, so this is safe; the
 			// next completed pass releases them.
+			if !j.propPending && j.obs.SpansEnabled() {
+				// Record the deferral once per in-flight pass on every
+				// punctuation that would otherwise release now, so
+				// pjointrace can apportion propagation delay to the pass.
+				for s := 0; s < 2; s++ {
+					for _, e := range j.psets[s].Propagable() {
+						if e.TraceID != 0 && !j.diskPending[s][e.PID] {
+							j.obs.Span(span.KindPunctDefer, e.TraceID, now, s, int64(e.PID), 1, 0, 0)
+						}
+					}
+				}
+			}
 			j.propPending = true
 			return nil
 		}
@@ -845,19 +954,31 @@ func (j *PJoin) propagate(now stream.Time) error {
 		}
 		for _, e := range j.psets[s].Propagable() {
 			if j.diskPending[s][e.PID] {
+				if e.TraceID != 0 && j.obs.SpansEnabled() {
+					j.obs.Span(span.KindPunctDefer, e.TraceID, now, s, int64(e.PID), 2, 0, 0)
+				}
 				continue
 			}
 			outP, err := j.outputPunctuation(s, e.P)
 			if err != nil {
 				return err
 			}
-			if err := j.out.Emit(stream.PunctItem(outP, now)); err != nil {
+			outIt := stream.PunctItem(outP, now)
+			// The released punctuation keeps its provenance trace, so the
+			// sharded merger (and any downstream consumer) can close the
+			// lifecycle under the same trace.
+			outIt.Span = e.TraceID
+			if err := j.out.Emit(outIt); err != nil {
 				return err
 			}
 			j.base.M.PunctsOut++
 			j.lastPropTs = maxTime(j.lastPropTs, now)
 			j.lat.RecordPunctDelay(now, stream.Time(e.ArrivedAt))
 			j.obs.Event(obs.KindPropagate, now, s, 0, 0)
+			if e.TraceID != 0 && j.obs.SpansEnabled() {
+				j.obs.Span(span.KindPunctEmit, e.TraceID, now, s,
+					int64(e.PID), 0, 0, int64(now)-e.ArrivedAt)
+			}
 			if j.cfg.RetainPropagated {
 				e.Propagated = true
 			} else {
@@ -959,7 +1080,12 @@ func (j *PJoin) passHooks() joinbase.PassHooks {
 		}
 		hooks.DropDisk = func(side int, sd *store.StoredTuple) bool {
 			e := j.psets[1-side].FirstMatchAttr(j.attrs[1-side], sd.T.Values[j.attrs[side]])
-			return e != nil && e.PID <= j.dropBound[1-side]
+			drop := e != nil && e.PID <= j.dropBound[1-side]
+			if drop && e.TraceID != 0 && j.obs.SpansEnabled() {
+				j.obs.Span(span.KindPunctPurgeDisk, e.TraceID, j.now, side,
+					1, 0, int64(sd.T.EncodedSize()), 0)
+			}
+			return drop
 		}
 	}
 	return hooks
@@ -980,12 +1106,67 @@ func (j *PJoin) diskPass(now stream.Time) error {
 		return nil
 	}
 	start := time.Now()
+	spansOn := j.obs.SpansEnabled()
+	if spansOn {
+		j.beginPassTrace(now, false)
+	}
 	if err := j.base.DiskPass(now, j.passHooks()); err != nil {
 		return err
 	}
-	j.lat.RecordDiskPass(time.Since(start).Nanoseconds())
+	wall := time.Since(start).Nanoseconds()
+	j.lat.RecordDiskPass(wall)
+	if spansOn {
+		j.endPassTrace(now, wall)
+	}
 	j.passComplete()
 	return nil
+}
+
+// passIO is the spill-side traffic picture a pass trace attributes:
+// read operations (seeks + chunk continuations), spill-cache hits and
+// bytes actually read (post-cache), summed over both states.
+type passIO struct {
+	reads, hits, bytes int64
+}
+
+func (j *PJoin) passIOSnapshot() passIO {
+	var p passIO
+	for s := 0; s < 2; s++ {
+		st := j.base.States[s]
+		if io, err := st.IOStats(); err == nil {
+			p.reads += io.ReadOps + io.ChunkReads
+			p.bytes += io.BytesRead
+		}
+		p.hits += st.SpillCacheStats().Hits
+	}
+	return p
+}
+
+// beginPassTrace opens a provenance trace for a disk pass; chunked
+// marks it resumable (pass_start N = 1).
+func (j *PJoin) beginPassTrace(now stream.Time, chunked bool) {
+	j.passTrace = span.NewID()
+	j.passIOBase = j.passIOSnapshot()
+	j.passExamBase = j.base.M.DiskExamined
+	j.passJoinBase = j.base.M.DiskJoins
+	var n int64
+	if chunked {
+		n = 1
+	}
+	j.obs.Span(span.KindPassStart, j.passTrace, now, -1, n, 0, 0, 0)
+}
+
+// endPassTrace closes a pass trace: one pass_io span attributing the
+// spill/cache traffic the pass caused, one pass_end span with the
+// pass's work totals and wall time.
+func (j *PJoin) endPassTrace(now stream.Time, wall int64) {
+	io := j.passIOSnapshot()
+	j.obs.Span(span.KindPassIO, j.passTrace, now, -1,
+		io.reads-j.passIOBase.reads, io.hits-j.passIOBase.hits,
+		io.bytes-j.passIOBase.bytes, 0)
+	j.obs.Span(span.KindPassEnd, j.passTrace, now, -1,
+		j.base.M.DiskExamined-j.passExamBase, j.base.M.DiskJoins-j.passJoinBase,
+		io.bytes-j.passIOBase.bytes, wall)
 }
 
 // passComplete runs once a disk pass — blocking or chunked — finished:
@@ -1004,6 +1185,7 @@ func (j *PJoin) passComplete() {
 // left-over work. On pass completion it clears the disk-pending marks
 // and re-runs any propagation release that was deferred mid-pass.
 func (j *PJoin) stepDiskTask(now stream.Time) error {
+	spansOn := j.obs.SpansEnabled()
 	if j.diskTask == nil {
 		if !j.base.NeedsPass() {
 			return nil
@@ -1012,19 +1194,41 @@ func (j *PJoin) stepDiskTask(now stream.Time) error {
 		j.diskTaskStart = time.Now()
 		j.pendBound[0] = j.psets[0].MaxPID()
 		j.pendBound[1] = j.psets[1].MaxPID()
+		if spansOn {
+			j.beginPassTrace(now, true)
+		}
+	}
+	if spansOn {
+		j.passStepIO = j.passIOSnapshot()
+		j.passStepExam = j.base.M.DiskExamined
+		j.passStepJoin = j.base.M.DiskJoins
 	}
 	start := time.Now()
+	j.resultSpanBudget = span.ResultCap
 	done, err := j.diskTask.Step(now)
 	if err != nil {
 		j.diskTask = nil
 		return err
 	}
+	stepWall := time.Since(start).Nanoseconds()
+	if spansOn {
+		// One pass_chunk span per resumable step, so pjointrace can show
+		// how a pass's work spread across event-loop pumps.
+		io := j.passIOSnapshot()
+		j.obs.Span(span.KindPassChunk, j.passTrace, now, -1,
+			j.base.M.DiskExamined-j.passStepExam, j.base.M.DiskJoins-j.passStepJoin,
+			io.bytes-j.passStepIO.bytes, stepWall)
+	}
 	if !done {
-		j.lat.RecordDiskChunk(time.Since(start).Nanoseconds())
+		j.lat.RecordDiskChunk(stepWall)
 		return nil
 	}
 	j.diskTask = nil
-	j.lat.RecordDiskPass(time.Since(j.diskTaskStart).Nanoseconds())
+	passWall := time.Since(j.diskTaskStart).Nanoseconds()
+	j.lat.RecordDiskPass(passWall)
+	if spansOn {
+		j.endPassTrace(now, passWall)
+	}
 	// Only marks present when the pass started are provably complete:
 	// an entry index-built mid-pass may have missed disk tuples in
 	// buckets the pass had already read past (see pendBound).
@@ -1169,6 +1373,19 @@ func (j *PJoin) Finish(now stream.Time) error {
 	if !j.cfg.DisablePropagation {
 		if err := j.propagate(j.now); err != nil {
 			return err
+		}
+	}
+	if j.obs.SpansEnabled() {
+		// Close the lifecycle of every punctuation that never propagated
+		// (propagation disabled, count still positive, or disk-pending at
+		// the end) so no trace dangles: pjointrace treats punct_eos_close
+		// as an administrative terminal.
+		for s := 0; s < 2; s++ {
+			for _, e := range j.psets[s].Entries() {
+				if e.TraceID != 0 && !e.Propagated {
+					j.obs.Span(span.KindPunctEOSClose, e.TraceID, j.now, s, int64(e.PID), 0, 0, 0)
+				}
+			}
 		}
 	}
 	j.finished = true

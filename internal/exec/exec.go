@@ -24,6 +24,7 @@ import (
 
 	"pjoin/internal/obs"
 	"pjoin/internal/obs/health"
+	"pjoin/internal/obs/span"
 	"pjoin/internal/op"
 	"pjoin/internal/stream"
 )
@@ -54,6 +55,12 @@ type Edge struct {
 	buf    []stream.Item
 	armed  bool // a linger timer callback is pending
 	closed bool
+	// sink marks an edge consumed by Sink rather than an operator. Sink
+	// edges skip tuple_cut spans: result tuples inherit their sampled
+	// ancestor's trace, so a join's output edge would otherwise emit one
+	// cut span per result — span volume scaling with output rate — and
+	// the emit → sink hop is already measured by tuple_result's D.
+	sink bool
 }
 
 // batched reports the edge's mode.
@@ -81,14 +88,14 @@ func (e *Edge) Emit(it stream.Item) error {
 		// Punctuations and EOS are batch boundaries: flush immediately
 		// so downstream purge/propagation latency is never queued
 		// behind buffered tuples.
-		return e.flushLocked()
+		return e.flushLocked(true)
 	case len(e.buf) >= e.size:
-		return e.flushLocked()
+		return e.flushLocked(false)
 	case e.linger <= 0:
 		// No linger budget: every Emit flushes. Fill comes only from
 		// multi-item emitters upstream of the same cut, so latency is
 		// per-item-identical.
-		return e.flushLocked()
+		return e.flushLocked(true)
 	default:
 		if !e.armed {
 			e.armed = true
@@ -109,18 +116,31 @@ func (e *Edge) onLinger() {
 	if e.closed {
 		return
 	}
-	_ = e.flushLocked() // a cancelled pipeline drops the cut; Run reports the cause
+	_ = e.flushLocked(true) // a cancelled pipeline drops the cut; Run reports the cause
 }
 
 // flushLocked cuts the buffer and sends it as one batch, holding e.mu
 // across the send so cut order equals channel order (the consumer never
-// takes e.mu, so this cannot deadlock). Empty cuts are no-ops.
-func (e *Edge) flushLocked() error {
+// takes e.mu, so this cannot deadlock). Empty cuts are no-ops. forced
+// marks cuts not caused by the batch filling (punctuation/EOS boundary,
+// linger expiry, close) for the provenance cut spans.
+func (e *Edge) flushLocked(forced bool) error {
 	if len(e.buf) == 0 {
 		return nil
 	}
 	b := e.buf
 	e.buf = nil
+	if !e.sink && e.p.Obs.SpansEnabled() {
+		m := int64(0)
+		if forced {
+			m = 1
+		}
+		for _, it := range b {
+			if it.Kind == stream.KindTuple && it.Tuple.Span != 0 {
+				e.p.Obs.Span(span.KindTupleCut, it.Tuple.Span, it.Ts, -1, int64(len(b)), m, 0, 0)
+			}
+		}
+	}
 	select {
 	case e.bch <- b:
 		return nil
@@ -140,7 +160,7 @@ func (e *Edge) close() {
 	}
 	e.mu.Lock()
 	e.closed = true
-	_ = e.flushLocked()
+	_ = e.flushLocked(true)
 	e.mu.Unlock()
 	close(e.bch)
 }
@@ -190,6 +210,13 @@ type Pipeline struct {
 	// records operator lifecycle events (start, finish) on it. nil
 	// disables observability. Set before Run.
 	Obs *obs.Instr
+
+	// SpanSampler admits source tuples into provenance tracing (see
+	// internal/obs/span): a sampled tuple is copied, stamped with a
+	// fresh trace ID in Tuple.Span, and followed through edge cuts,
+	// driver delivery, probes and result emission. nil admits nothing.
+	// Only effective when Obs carries a span tracer. Set before Run.
+	SpanSampler *span.Sampler
 
 	// Clock returns the elapsed offset since pipeline start used for
 	// restamping and for idle/pull timestamps. nil (the default) reads
@@ -290,6 +317,7 @@ func (p *Pipeline) Source(out *Edge, items []stream.Item, paced bool) {
 		go func() {
 			defer p.wg.Done()
 			defer out.close()
+			sin := p.Obs.Derive("source", -1)
 			for _, it := range items {
 				if paced {
 					target := p.start.Add(time.Duration(it.Ts))
@@ -300,6 +328,14 @@ func (p *Pipeline) Source(out *Edge, items []stream.Item, paced bool) {
 							return
 						}
 					}
+				}
+				if it.Kind == stream.KindTuple && sin.SpansEnabled() && p.SpanSampler.Sample() {
+					// Copy before stamping the trace: the caller owns the
+					// tuple and may share it across sources or replays.
+					t := *it.Tuple
+					t.Span = span.NewID()
+					it = stream.TupleItem(&t)
+					sin.Span(span.KindTupleIngest, t.Span, it.Ts, -1, 0, 0, 0, 0)
 				}
 				if err := out.Emit(it); err != nil {
 					return
@@ -428,17 +464,31 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 		oin.Event(obs.KindOpStart, stream.Time(p.elapsed()), -1, 0, 0)
 		var lastTs stream.Time
 		// stamp assigns the system arrival timestamp: strictly
-		// increasing, at least the wall-clock offset since start.
-		stamp := func(it stream.Item) stream.Item {
+		// increasing, at least the wall-clock offset since start. Item
+		// rebuilds preserve provenance: the tuple copy carries
+		// Tuple.Span, and the punctuation item's trace (Item.Span) is
+		// restamped onto the rebuilt item. A sampled tuple gets a
+		// deliver span whose D is the restamp delta — its time queued
+		// on the edge (plus batch linger).
+		stamp := func(port int, it stream.Item) stream.Item {
 			ts := p.sysNow(lastTs)
 			lastTs = ts
 			switch it.Kind {
 			case stream.KindTuple:
 				t := *it.Tuple
 				t.Ts = ts
+				if t.Span != 0 && oin.SpansEnabled() {
+					d := int64(ts) - int64(it.Tuple.Ts)
+					if d < 0 {
+						d = 0
+					}
+					oin.Span(span.KindTupleDeliver, t.Span, ts, port, 0, 0, 0, d)
+				}
 				return stream.TupleItem(&t)
 			case stream.KindPunct:
-				return stream.PunctItem(it.Punct, ts)
+				out := stream.PunctItem(it.Punct, ts)
+				out.Span = it.Span
+				return out
 			default:
 				return stream.EOSItem(ts)
 			}
@@ -468,7 +518,7 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 						o.Name(), eosSeen, o.NumPorts()))
 					return
 				}
-				it := stamp(pi.item)
+				it := stamp(pi.port, pi.item)
 				if it.Kind == stream.KindEOS {
 					eosSeen++
 				}
@@ -557,16 +607,27 @@ func (p *Pipeline) runOperatorBatched(o op.Operator, inputs []*Edge, pull *PullH
 		// arrival timestamps, at least the wall-clock offset since start.
 		// Items in one batch get consecutive clamped stamps, exactly the
 		// sequence per-item delivery of the same burst would produce.
-		stamp := func(it stream.Item) stream.Item {
+		// Provenance survives the rebuild exactly as in the per-item
+		// driver (Tuple.Span via the copy, Item.Span restamped).
+		stamp := func(port int, it stream.Item) stream.Item {
 			ts := p.sysNow(lastTs)
 			lastTs = ts
 			switch it.Kind {
 			case stream.KindTuple:
 				t := *it.Tuple
 				t.Ts = ts
+				if t.Span != 0 && oin.SpansEnabled() {
+					d := int64(ts) - int64(it.Tuple.Ts)
+					if d < 0 {
+						d = 0
+					}
+					oin.Span(span.KindTupleDeliver, t.Span, ts, port, 0, 0, 0, d)
+				}
 				return stream.TupleItem(&t)
 			case stream.KindPunct:
-				return stream.PunctItem(it.Punct, ts)
+				out := stream.PunctItem(it.Punct, ts)
+				out.Span = it.Span
+				return out
 			default:
 				return stream.EOSItem(ts)
 			}
@@ -595,7 +656,7 @@ func (p *Pipeline) runOperatorBatched(o op.Operator, inputs []*Edge, pull *PullH
 					return
 				}
 				for i := range pb.items {
-					it := stamp(pb.items[i])
+					it := stamp(pb.port, pb.items[i])
 					pb.items[i] = it
 					if it.Kind == stream.KindEOS {
 						eosSeen++
@@ -679,6 +740,7 @@ func (p *Pipeline) Watch(d *health.Detector, every time.Duration, probe func() h
 // Sink attaches a draining collector to an edge and returns it. The
 // collector's contents are complete once Run returns.
 func (p *Pipeline) Sink(in *Edge) *op.Collector {
+	in.sink = true
 	c := &op.Collector{}
 	p.launched = append(p.launched, func() {
 		p.wg.Add(1)

@@ -3,6 +3,7 @@ package obs
 import (
 	"testing"
 
+	"pjoin/internal/obs/span"
 	"pjoin/internal/stream"
 )
 
@@ -36,6 +37,27 @@ func TestNopTracerInstrDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("Nop-tracer hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDetachedSpansDoNotAllocate(t *testing.T) {
+	// Detached provenance: span call sites are compiled in and called
+	// unconditionally, but no span tracer is attached. This is the
+	// bench7 "detached" cell's contract — one branch, zero allocations.
+	in := NewInstr(Nop, nil, "pjoin")
+	var smp *span.Sampler
+	allocs := testing.AllocsPerRun(1000, func() {
+		if in.SpansEnabled() {
+			t.Fatal("unreachable")
+		}
+		in.Span(span.KindTupleProbe, 7, 1, 0, 3, 12, 0, 0)
+		in.Span(span.KindPunctPurgeMem, 7, 1, 0, 42, 0, 2048, 91000)
+		if smp.Sample() {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("detached span hot path allocates %.1f/op, want 0", allocs)
 	}
 }
 

@@ -36,6 +36,9 @@
 package obs
 
 import (
+	"time"
+
+	"pjoin/internal/obs/span"
 	"pjoin/internal/stream"
 )
 
@@ -132,13 +135,15 @@ func (nopTracer) Trace(Event)   {}
 // Nop is the no-op default Tracer.
 var Nop Tracer = nopTracer{}
 
-// Instr is the instrumentation handle an operator carries: a tracer, an
-// optional live sampler, and the operator's identity (name + shard). A
+// Instr is the instrumentation handle an operator carries: a tracer,
+// an optional live sampler, an optional span tracer (provenance — see
+// internal/obs/span), and the operator's identity (name + shard). A
 // nil *Instr is fully inert — every method is a cheap no-op — so
 // operators call unconditionally.
 type Instr struct {
 	tr    Tracer
 	live  *Live
+	sp    span.Tracer
 	op    string
 	shard int32
 }
@@ -147,28 +152,35 @@ type Instr struct {
 // tracing); live may be nil (no sampling). Returns nil when both are
 // nil, so "observability off" stays a single nil check.
 func NewInstr(tr Tracer, live *Live, op string) *Instr {
-	if tr == nil && live == nil {
+	return NewInstrSpans(tr, live, nil, op)
+}
+
+// NewInstrSpans is NewInstr with a provenance span tracer attached.
+// Any argument may be nil; returns nil when all three are nil.
+func NewInstrSpans(tr Tracer, live *Live, sp span.Tracer, op string) *Instr {
+	if tr == nil && live == nil && sp == nil {
 		return nil
 	}
 	if tr == nil {
 		tr = Nop
 	}
-	return &Instr{tr: tr, live: live, op: op, shard: -1}
+	return &Instr{tr: tr, live: live, sp: sp, op: op, shard: -1}
 }
 
 // Derive returns a handle for a sub-component (e.g. one shard) sharing
-// the parent's tracer and sampler. shard < 0 means unsharded. Deriving
-// from a nil handle yields nil.
+// the parent's tracer, sampler and span tracer. shard < 0 means
+// unsharded. Deriving from a nil handle yields nil.
 func (in *Instr) Derive(op string, shard int) *Instr {
 	if in == nil {
 		return nil
 	}
-	return &Instr{tr: in.tr, live: in.live, op: op, shard: int32(shard)}
+	return &Instr{tr: in.tr, live: in.live, sp: in.sp, op: op, shard: int32(shard)}
 }
 
 // WithoutLive returns a copy whose live sampler is detached (tracing
-// kept). The sharded join hands this to its shards: shard goroutines
-// must not run the aggregated gauges, which take the shard locks.
+// and spans kept). The sharded join hands this to its shards: shard
+// goroutines must not run the aggregated gauges, which take the shard
+// locks.
 func (in *Instr) WithoutLive() *Instr {
 	if in == nil {
 		return nil
@@ -176,10 +188,10 @@ func (in *Instr) WithoutLive() *Instr {
 	if in.live == nil {
 		return in
 	}
-	if in.tr == Nop {
+	if in.tr == Nop && in.sp == nil {
 		return nil
 	}
-	return &Instr{tr: in.tr, op: in.op, shard: in.shard}
+	return &Instr{tr: in.tr, sp: in.sp, op: in.op, shard: in.shard}
 }
 
 // Op returns the operator name ("" on a nil handle).
@@ -220,6 +232,44 @@ func (in *Instr) SpillError(at stream.Time, side int, err error) {
 		return
 	}
 	in.tr.Trace(Event{Kind: KindSpillError, At: at, Op: in.op, Shard: in.shard, Side: int8(side), Err: err.Error()})
+}
+
+// Spans returns the attached span tracer, or nil.
+func (in *Instr) Spans() span.Tracer {
+	if in == nil {
+		return nil
+	}
+	return in.sp
+}
+
+// SpansEnabled reports whether provenance spans are active. Like
+// Enabled, the disabled path is branches only — zero allocations — so
+// operators gate span bookkeeping (attribution maps, byte sums) on it
+// from hot paths.
+func (in *Instr) SpansEnabled() bool {
+	return in != nil && in.sp != nil && in.sp.Enabled()
+}
+
+// Span emits a provenance span with the handle's identity filled in,
+// allocating a fresh span ID. Punctuation and pass spans are stamped
+// with the process wall clock (purge wall time and cross-shard ordering
+// need it, and those spans are rare); tuple spans are not — they are
+// the volume class under full sampling, their analysis runs on At and D
+// alone, and a time.Now per result span is measurable against the
+// bench7 overhead budget. No-op (and allocation-free) when spans are
+// disabled.
+func (in *Instr) Span(k span.Kind, trace uint64, at stream.Time, side int, n, m, bytes, dur int64) {
+	if in == nil || in.sp == nil || !in.sp.Enabled() {
+		return
+	}
+	var wall int64
+	if !k.IsTuple() {
+		wall = time.Now().UnixNano()
+	}
+	in.sp.Emit(span.Span{
+		ID: span.NewID(), Trace: trace, Kind: k, At: at, Wall: wall,
+		Op: in.op, Shard: in.shard, Side: int8(side), N: n, M: m, B: bytes, D: dur,
+	})
 }
 
 // Tick offers the live sampler a chance to sample at the given virtual

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"pjoin/internal/obs/hist"
+	"pjoin/internal/obs/span"
 )
 
 // Prometheus text exposition (version 0.0.4) for the latency histograms
@@ -109,6 +110,51 @@ func WriteProm(w io.Writer, prefix string, lat LatSnapshot, gauges map[string]fl
 		mn := prefix + "_" + promSanitize(n)
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", mn, mn,
 			strconv.FormatFloat(gauges[n], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePromSpans renders the provenance-span counter families:
+// per-group span emission totals (punctuation lifecycle, disk-pass,
+// sampled-tuple) plus the tuple sampler's admit/drop decisions — the
+// drop count is what tells an operator how much provenance the sample
+// rate is leaving on the floor. counts is indexed by span.Kind (as
+// span.JSONL.Counts() returns); nil/short slices read as zero, so the
+// scrape schema is stable whether or not a span tracer is attached.
+// Counter families only — CheckPromFormat applies unchanged.
+func WritePromSpans(w io.Writer, prefix string, counts []int64, sampled, dropped int64) error {
+	prefix = promSanitize(prefix)
+	var punct, pass, tuple int64
+	for i, c := range counts {
+		if i >= span.NumKinds() {
+			break
+		}
+		switch k := span.Kind(i); {
+		case k.IsPunct():
+			punct += c
+		case k.IsPass():
+			pass += c
+		default:
+			tuple += c
+		}
+	}
+	families := []struct {
+		name string
+		help string
+		val  int64
+	}{
+		{"span_punct_total", "Punctuation-lifecycle provenance spans emitted (arrive/purge/defer/emit).", punct},
+		{"span_pass_total", "Disk-pass provenance spans emitted (start/chunk/io/end).", pass},
+		{"span_tuple_total", "Sampled-tuple provenance spans emitted (ingest/cut/deliver/probe/result).", tuple},
+		{"span_sampler_sampled_total", "Tuples admitted into provenance tracing by the span sampler.", sampled},
+		{"span_sampler_dropped_total", "Tuples passed over by the span sampler (provenance left unrecorded).", dropped},
+	}
+	for _, f := range families {
+		n := prefix + "_" + f.name
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			n, f.help, n, n, f.val); err != nil {
 			return err
 		}
 	}

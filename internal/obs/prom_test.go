@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"pjoin/internal/obs/span"
 )
 
 func promFixture() (LatSnapshot, map[string]float64) {
@@ -69,6 +71,63 @@ func TestWritePromEmpty(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `op_result_latency_ns_bucket{le="+Inf"} 0`) {
 		t.Errorf("empty histogram should still expose zero buckets:\n%s", buf.String())
+	}
+}
+
+// TestWritePromSpansFormat: the provenance-span counter families pass
+// the strict format check, expose HELP/TYPE for every family, group the
+// per-kind counts correctly, and compose with WriteProm in one payload
+// (as the auctiond /metrics handler emits them).
+func TestWritePromSpansFormat(t *testing.T) {
+	counts := make([]int64, span.NumKinds())
+	counts[span.KindPunctArrive] = 3
+	counts[span.KindPunctPurgeMem] = 2
+	counts[span.KindPunctEmit] = 3
+	counts[span.KindPassStart] = 1
+	counts[span.KindPassEnd] = 1
+	counts[span.KindTupleIngest] = 7
+	counts[span.KindTupleResult] = 5
+
+	var buf bytes.Buffer
+	snap, gauges := promFixture()
+	if err := WriteProm(&buf, "pjoin", snap, gauges); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePromSpans(&buf, "pjoin", counts, 7, 441); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := CheckPromFormat(buf.Bytes()); err != nil {
+		t.Fatalf("format check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# HELP pjoin_span_punct_total ",
+		"# TYPE pjoin_span_punct_total counter",
+		"pjoin_span_punct_total 8",
+		"# TYPE pjoin_span_pass_total counter",
+		"pjoin_span_pass_total 2",
+		"# TYPE pjoin_span_tuple_total counter",
+		"pjoin_span_tuple_total 12",
+		"# TYPE pjoin_span_sampler_sampled_total counter",
+		"pjoin_span_sampler_sampled_total 7",
+		"# TYPE pjoin_span_sampler_dropped_total counter",
+		"pjoin_span_sampler_dropped_total 441",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+
+	// No span tracer attached: nil counts still expose the full schema.
+	buf.Reset()
+	if err := WritePromSpans(&buf, "pjoin", nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPromFormat(buf.Bytes()); err != nil {
+		t.Fatalf("nil-counts payload fails format check: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "pjoin_span_punct_total 0") {
+		t.Errorf("nil counts should render zero families:\n%s", buf.String())
 	}
 }
 

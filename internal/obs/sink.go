@@ -73,3 +73,58 @@ func (s *gzipSource) Close() error {
 	}
 	return ferr
 }
+
+// OpenSinkTolerant is OpenSink for traces that may be missing their
+// gzip trailer: a process that crashed (or was flight-recorded) mid-run
+// leaves a stream whose deflate tail and CRC/length footer never hit
+// the disk, which the strict reader surfaces as io.ErrUnexpectedEOF on
+// the very last read. Tolerant mode returns every byte that decoded
+// cleanly and then reports a clean EOF, so `pjointrace` can analyze a
+// crashed run's prefix. Corruption mid-stream is still surfaced: only
+// errors at the point the file itself is exhausted are forgiven.
+func OpenSinkTolerant(path string) (io.ReadCloser, error) {
+	if !strings.HasSuffix(path, ".gz") {
+		return os.Open(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &tolerantGzipSource{zr: zr, f: f}, nil
+}
+
+type tolerantGzipSource struct {
+	zr   *gzip.Reader
+	f    *os.File
+	done bool
+}
+
+func (s *tolerantGzipSource) Read(p []byte) (int, error) {
+	if s.done {
+		return 0, io.EOF
+	}
+	n, err := s.zr.Read(p)
+	if err == io.ErrUnexpectedEOF {
+		// Truncated trailer: the compressed payload ran out before the
+		// footer. Whatever decoded up to here is complete lines of the
+		// prefix; end the stream cleanly.
+		s.done = true
+		if n > 0 {
+			return n, nil
+		}
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+func (s *tolerantGzipSource) Close() error {
+	// zr.Close on a truncated stream reports the missing checksum; the
+	// whole point of tolerant mode is to forgive exactly that.
+	_ = s.zr.Close()
+	return s.f.Close()
+}

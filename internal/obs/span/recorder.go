@@ -1,0 +1,48 @@
+package span
+
+import "sync"
+
+// Recorder is a Tracer that collects spans in memory, for tests and
+// the oracle's reconciliation checks.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Enabled implements Tracer.
+func (r *Recorder) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(s Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Count returns the number of recorded spans.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// ByTrace groups the recorded spans by trace ID, preserving emission
+// order within each trace.
+func (r *Recorder) ByTrace() map[uint64][]Span {
+	out := map[uint64][]Span{}
+	for _, s := range r.Spans() {
+		out[s.Trace] = append(out[s.Trace], s)
+	}
+	return out
+}
+
+var _ Tracer = (*Recorder)(nil)

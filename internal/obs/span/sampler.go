@@ -1,0 +1,58 @@
+package span
+
+import "sync/atomic"
+
+// Sampler decides which tuples get a provenance trace. Punctuation and
+// pass spans are never sampled (they are rare and the reconciliation
+// guarantees need every one); tuple spans go through a Sampler so full
+// tracing of a million-tuple run stays optional. Admission is a single
+// atomic add — safe from concurrent sources, zero allocations.
+type Sampler struct {
+	every   uint64
+	ctr     atomic.Uint64
+	sampled atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewSampler returns a sampler admitting one in every tuples (every
+// <= 1 admits all). A nil *Sampler admits nothing, so "tuple tracing
+// off" stays a single nil check.
+func NewSampler(every int) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether the next tuple should carry a trace, and
+// counts the decision either way.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	c := s.ctr.Add(1)
+	if s.every <= 1 || (c-1)%s.every == 0 {
+		s.sampled.Add(1)
+		return true
+	}
+	s.dropped.Add(1)
+	return false
+}
+
+// Sampled returns how many tuples were admitted.
+func (s *Sampler) Sampled() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.sampled.Load()
+}
+
+// Dropped returns how many tuples were passed over — the
+// `span_sampler_dropped_total` Prometheus family, so a scrape shows
+// how much provenance the sample rate is leaving on the floor.
+func (s *Sampler) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}

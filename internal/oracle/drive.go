@@ -69,7 +69,7 @@ func summarize(items []stream.Item) (tuples, puncts map[string]int, eos int) {
 // (the recovery half of the fault check).
 func Run(sc *Scenario, v Variant, disableFault bool) *Outcome {
 	sink := &lockedCollector{}
-	j, err := build(sc, v, sink, disableFault)
+	j, err := build(sc, v, sink, disableFault, nil)
 	if err != nil {
 		return &Outcome{Err: err}
 	}

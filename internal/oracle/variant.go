@@ -196,8 +196,11 @@ type joinOp interface {
 
 // build constructs the variant's operator over the scenario's shared
 // thresholds, emitting into out. disableFault builds the
-// fault-recovery rerun: same variant, fault injection off.
-func build(sc *Scenario, v Variant, out op.Emitter, disableFault bool) (op.Operator, error) {
+// fault-recovery rerun: same variant, fault injection off. instr (nil
+// for plain runs) threads an observability handle through — the traced
+// oracle attaches a span recorder this way; sharded variants hand it
+// to parallel.Config so shards derive their own handles.
+func build(sc *Scenario, v Variant, out op.Emitter, disableFault bool, instr *obs.Instr) (op.Operator, error) {
 	fv := v
 	if disableFault {
 		fv.Fault = false
@@ -225,12 +228,13 @@ func build(sc *Scenario, v Variant, out op.Emitter, disableFault bool) (op.Opera
 			VerifyPunctuations: true,
 		}
 		if fv.Shards > 1 {
-			pcfg := parallel.Config{Shards: fv.Shards, Join: cfg}
+			pcfg := parallel.Config{Shards: fv.Shards, Join: cfg, Instr: instr}
 			if fv.Cache || fv.Fault {
 				pcfg.SpillFactory = func(int, int) store.SpillStore { return spillStack(sc, fv) }
 			}
 			return parallel.New(pcfg, out)
 		}
+		cfg.Instr = instr
 		cfg.SpillA = spillStack(sc, fv)
 		cfg.SpillB = spillStack(sc, fv)
 		return core.New(cfg, out)
@@ -245,6 +249,7 @@ func build(sc *Scenario, v Variant, out op.Emitter, disableFault bool) (op.Opera
 			DiskJoinIdle:      sc.DiskJoinIdle,
 			DiskChunkBytes:    fv.Chunk,
 			DisableStateIndex: !fv.Index,
+			Instr:             instr,
 			SpillA:            spillStack(sc, fv),
 			SpillB:            spillStack(sc, fv),
 		}

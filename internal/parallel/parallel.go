@@ -69,6 +69,7 @@ import (
 	"pjoin/internal/core"
 	"pjoin/internal/joinbase"
 	"pjoin/internal/obs"
+	"pjoin/internal/obs/span"
 	"pjoin/internal/op"
 	"pjoin/internal/store"
 	"pjoin/internal/stream"
@@ -407,7 +408,19 @@ func (j *ShardedPJoin) Process(port int, it stream.Item, now stream.Time) error 
 			if err != nil {
 				return fmt.Errorf("parallel: %s: %w", j.Name(), err)
 			}
-			j.merge.notePunctArrival(outP.String(), it.Ts)
+			// One provenance trace per punctuation join-wide: the router
+			// allocates it before broadcasting so every shard's lifecycle
+			// spans (arrival, purges, shard-local propagation) attach to
+			// the SAME trace, and the merger closes it with the terminal
+			// punct_emit when alignment completes. The router-level
+			// arrive span (Shard = -1, N = 0) marks trace birth.
+			var trace uint64
+			if j.instr.SpansEnabled() {
+				trace = span.NewID()
+				it.Span = trace
+				j.instr.Span(span.KindPunctArrive, trace, it.Ts, port, 0, 0, 0, 0)
+			}
+			j.merge.notePunctArrival(outP.String(), it.Ts, trace)
 		}
 		for _, sh := range j.shards {
 			j.send(sh, message{kind: msgItem, port: port, item: it, now: now})
@@ -731,12 +744,18 @@ type pendingPunct struct {
 	// alignments of the same key complete in arrival order, so each
 	// completed countdown pops the front entry for its delay sample.
 	arrivals []stream.Time
+	// traces is the provenance-trace FIFO, popped in lockstep with
+	// arrivals: the router allocates one trace per broadcast punctuation
+	// (zero when spans are off) and the merger closes it with the
+	// join-wide terminal punct_emit span at forward time.
+	traces []uint64
 }
 
-// notePunctArrival records a broadcast punctuation's arrival time under
-// its merge key, creating the countdown entry eagerly so the forward
-// can measure arrival → alignment-complete delay.
-func (m *merger) notePunctArrival(key string, ts stream.Time) {
+// notePunctArrival records a broadcast punctuation's arrival time (and
+// provenance trace, zero when spans are off) under its merge key,
+// creating the countdown entry eagerly so the forward can measure
+// arrival → alignment-complete delay.
+func (m *merger) notePunctArrival(key string, ts stream.Time, trace uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	pp := m.pending[key]
@@ -745,6 +764,7 @@ func (m *merger) notePunctArrival(key string, ts stream.Time) {
 		m.pending[key] = pp
 	}
 	pp.arrivals = append(pp.arrivals, ts)
+	pp.traces = append(pp.traces, trace)
 }
 
 // emitter returns the op.Emitter handed to one shard's PJoin. All
@@ -774,9 +794,16 @@ func (m *merger) emitter() op.Emitter {
 			}
 			fwdTs := pp.ts
 			m.punctsOut++
+			var trace uint64
+			arriveTs := fwdTs
 			if len(pp.arrivals) > 0 {
-				m.lat.RecordPunctDelay(fwdTs, pp.arrivals[0])
+				arriveTs = pp.arrivals[0]
+				m.lat.RecordPunctDelay(fwdTs, arriveTs)
 				pp.arrivals = pp.arrivals[1:]
+			}
+			if len(pp.traces) > 0 {
+				trace = pp.traces[0]
+				pp.traces = pp.traces[1:]
 			}
 			if len(pp.arrivals) > 0 {
 				// Another alignment of the same pattern is already in
@@ -790,7 +817,15 @@ func (m *merger) emitter() op.Emitter {
 				delete(m.pending, key)
 			}
 			m.in.Event(obs.KindShardMerge, fwdTs, -1, int64(m.n), 0)
-			return m.out.Emit(stream.PunctItem(it.Punct, fwdTs))
+			outIt := stream.PunctItem(it.Punct, fwdTs)
+			if trace != 0 {
+				// The join-wide terminal span (Shard = -1): the shards'
+				// own punct_emit spans carry shard >= 0 and count shard
+				// alignments, not downstream punctuations.
+				outIt.Span = trace
+				m.in.Span(span.KindPunctEmit, trace, fwdTs, -1, int64(m.n), 0, 0, int64(fwdTs)-int64(arriveTs))
+			}
+			return m.out.Emit(outIt)
 		case stream.KindEOS:
 			// Shard EOS is bookkeeping only; ShardedPJoin.Finish emits
 			// the single downstream EOS after all shards drained.

@@ -41,6 +41,12 @@ type Entry struct {
 	// pace, and an early partition must not lose the punctuation's purge
 	// power over later arrivals. See core.Config.RetainPropagated.
 	Propagated bool
+
+	// TraceID is the punctuation's provenance trace (internal/obs/span),
+	// assigned by the operator at arrival when span tracing is on. Purge
+	// and drop attribution resolve the responsible entry and stamp its
+	// TraceID on the span; zero when tracing is off.
+	TraceID uint64
 }
 
 // ExhaustiveOn reports whether the punctuation promises exhaustion of a

@@ -171,6 +171,21 @@ func (st *State) Bucket(i int) *Bucket { return &st.bkts[i] }
 // Stats returns the current size accounting.
 func (st *State) Stats() Stats { return st.stats }
 
+// IOStats returns the spill store's cumulative I/O counters. Disk-pass
+// provenance (internal/obs/span) snapshots these around a pass so the
+// spill reads a pass caused are attributed to its trace.
+func (st *State) IOStats() (IOStats, error) { return st.spill.Stats() }
+
+// SpillCacheStats returns the spill cache's counters when the spill
+// store is (or wraps) a cache, and the zero value otherwise — the
+// cache-hit side of a pass's I/O attribution.
+func (st *State) SpillCacheStats() CacheStats {
+	if c, ok := st.spill.(interface{ CacheStats() CacheStats }); ok {
+		return c.CacheStats()
+	}
+	return CacheStats{}
+}
+
 // Key returns t's join-attribute value.
 func (st *State) Key(t *stream.Tuple) value.Value { return t.Values[st.attr] }
 

@@ -139,9 +139,15 @@ func (s *Schema) String() string {
 // Tuple is one data element of a stream: the attribute values plus the
 // arrival timestamp assigned when it entered the system. Tuples are
 // treated as immutable once emitted.
+//
+// Span, when non-zero, is a provenance trace ID (internal/obs/span)
+// assigned by a source-side sampler; it rides the tuple through state
+// residency and into join results, is never encoded by AppendBinary,
+// and carries no data semantics — untraced runs leave it zero.
 type Tuple struct {
 	Values []value.Value
 	Ts     Time
+	Span   uint64
 }
 
 // NewTuple builds a tuple after validating the values against the schema.
@@ -182,7 +188,13 @@ func (t *Tuple) Join(u *Tuple) *Tuple {
 	if u.Ts > ts {
 		ts = u.Ts
 	}
-	return &Tuple{Values: vs, Ts: ts}
+	// A result descends from both inputs; when both are traced the
+	// earlier-assigned trace wins so attribution stays deterministic.
+	sp := t.Span
+	if sp == 0 || (u.Span != 0 && u.Span < sp) {
+		sp = u.Span
+	}
+	return &Tuple{Values: vs, Ts: ts, Span: sp}
 }
 
 // String renders "(v1, v2, ...)@ts".
@@ -225,11 +237,18 @@ func (k ItemKind) String() string {
 }
 
 // Item is one element of a punctuated stream.
+//
+// Span, when non-zero on a KindPunct item, is the punctuation's
+// provenance trace ID (internal/obs/span): the sharded router stamps
+// it before broadcasting so every shard's lifecycle spans group under
+// one trace. Tuple provenance rides Tuple.Span instead — an item
+// rebuild (executor restamp, merger forward) must preserve both.
 type Item struct {
 	Kind  ItemKind
 	Tuple *Tuple            // set when Kind == KindTuple
 	Punct punct.Punctuation // set when Kind == KindPunct
 	Ts    Time              // arrival/emission timestamp of the item
+	Span  uint64            // punctuation trace ID, 0 when untraced
 }
 
 // TupleItem wraps a tuple as a stream item.

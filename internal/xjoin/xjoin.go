@@ -19,6 +19,7 @@ import (
 	"pjoin/internal/event"
 	"pjoin/internal/joinbase"
 	"pjoin/internal/obs"
+	"pjoin/internal/obs/span"
 	"pjoin/internal/op"
 	"pjoin/internal/store"
 	"pjoin/internal/stream"
@@ -78,6 +79,19 @@ type XJoin struct {
 	// in blocking mode); see core.PJoin.diskTask.
 	diskTask      *joinbase.ChunkPass
 	diskTaskStart time.Time
+	// passTrace/passBase: provenance trace of the current disk pass and
+	// the I/O + work counters at its start (spans on only). XJoin has no
+	// punctuation lifecycle — punctuations are discarded — so its span
+	// output is tuple and pass provenance only; the missing punct traces
+	// are, like the absent punct-lag gauge, the baseline's story.
+	passTrace    uint64
+	passIOBase   passIO
+	passStepIO   passIO
+	passExamBase int64
+	passJoinBase int64
+	// resultSpanBudget caps tuple_result spans per probe burst at
+	// span.ResultCap; reset before each probe and disk-pass step.
+	resultSpanBudget int
 
 	now      stream.Time
 	eos      [2]bool
@@ -138,6 +152,10 @@ func New(cfg Config, out op.Emitter) (*XJoin, error) {
 	x := &XJoin{cfg: cfg, out: out, attrs: [2]int{cfg.AttrA, cfg.AttrB}, outSc: outSc, lat: obs.NewLat()}
 	x.base, err = joinbase.New(stA, stB, outSc, func(t *stream.Tuple) error {
 		x.lat.RecordResult(x.now, t.Ts)
+		if t.Span != 0 && x.resultSpanBudget > 0 && x.cfg.Instr.SpansEnabled() {
+			x.resultSpanBudget--
+			x.cfg.Instr.Span(span.KindTupleResult, t.Span, x.now, -1, 0, 0, 0, int64(x.now-t.Ts))
+		}
 		return out.Emit(stream.TupleItem(t))
 	})
 	if err != nil {
@@ -250,35 +268,104 @@ func (x *XJoin) diskPass(now stream.Time) error {
 		return nil
 	}
 	start := time.Now()
+	spansOn := x.cfg.Instr.SpansEnabled()
+	if spansOn {
+		x.beginPassTrace(now, false)
+	}
 	if err := x.base.DiskPass(now, joinbase.PassHooks{}); err != nil {
 		return err
 	}
-	x.lat.RecordDiskPass(time.Since(start).Nanoseconds())
+	wall := time.Since(start).Nanoseconds()
+	x.lat.RecordDiskPass(wall)
+	if spansOn {
+		x.endPassTrace(now, wall)
+	}
 	return nil
+}
+
+// passIO mirrors core.PJoin's pass-attribution snapshot: spill read
+// operations, cache hits and bytes read, summed over both states.
+type passIO struct {
+	reads, hits, bytes int64
+}
+
+func (x *XJoin) passIOSnapshot() passIO {
+	var p passIO
+	for s := 0; s < 2; s++ {
+		st := x.base.States[s]
+		if io, err := st.IOStats(); err == nil {
+			p.reads += io.ReadOps + io.ChunkReads
+			p.bytes += io.BytesRead
+		}
+		p.hits += st.SpillCacheStats().Hits
+	}
+	return p
+}
+
+func (x *XJoin) beginPassTrace(now stream.Time, chunked bool) {
+	x.passTrace = span.NewID()
+	x.passIOBase = x.passIOSnapshot()
+	x.passExamBase = x.base.M.DiskExamined
+	x.passJoinBase = x.base.M.DiskJoins
+	var n int64
+	if chunked {
+		n = 1
+	}
+	x.cfg.Instr.Span(span.KindPassStart, x.passTrace, now, -1, n, 0, 0, 0)
+}
+
+func (x *XJoin) endPassTrace(now stream.Time, wall int64) {
+	io := x.passIOSnapshot()
+	x.cfg.Instr.Span(span.KindPassIO, x.passTrace, now, -1,
+		io.reads-x.passIOBase.reads, io.hits-x.passIOBase.hits,
+		io.bytes-x.passIOBase.bytes, 0)
+	x.cfg.Instr.Span(span.KindPassEnd, x.passTrace, now, -1,
+		x.base.M.DiskExamined-x.passExamBase, x.base.M.DiskJoins-x.passJoinBase,
+		io.bytes-x.passIOBase.bytes, wall)
 }
 
 // stepDiskTask advances the incremental disk pass by one bounded step,
 // starting a fresh pass if none is in flight and left-over work exists.
 func (x *XJoin) stepDiskTask(now stream.Time) error {
+	spansOn := x.cfg.Instr.SpansEnabled()
 	if x.diskTask == nil {
 		if !x.base.NeedsPass() {
 			return nil
 		}
 		x.diskTask = x.base.StartChunkPass(joinbase.PassHooks{}, x.cfg.DiskChunkBytes)
 		x.diskTaskStart = time.Now()
+		if spansOn {
+			x.beginPassTrace(now, true)
+		}
 	}
+	if spansOn {
+		x.passStepIO = x.passIOSnapshot()
+	}
+	stepExam, stepJoin := x.base.M.DiskExamined, x.base.M.DiskJoins
 	start := time.Now()
+	x.resultSpanBudget = span.ResultCap
 	done, err := x.diskTask.Step(now)
 	if err != nil {
 		x.diskTask = nil
 		return err
 	}
+	stepWall := time.Since(start).Nanoseconds()
+	if spansOn {
+		io := x.passIOSnapshot()
+		x.cfg.Instr.Span(span.KindPassChunk, x.passTrace, now, -1,
+			x.base.M.DiskExamined-stepExam, x.base.M.DiskJoins-stepJoin,
+			io.bytes-x.passStepIO.bytes, stepWall)
+	}
 	if !done {
-		x.lat.RecordDiskChunk(time.Since(start).Nanoseconds())
+		x.lat.RecordDiskChunk(stepWall)
 		return nil
 	}
 	x.diskTask = nil
-	x.lat.RecordDiskPass(time.Since(x.diskTaskStart).Nanoseconds())
+	passWall := time.Since(x.diskTaskStart).Nanoseconds()
+	x.lat.RecordDiskPass(passWall)
+	if spansOn {
+		x.endPassTrace(now, passWall)
+	}
 	return nil
 }
 
@@ -312,11 +399,17 @@ func (x *XJoin) Process(port int, it stream.Item, now stream.Time) error {
 		if err := x.mon.TupleArrived(it.Tuple.Ts); err != nil {
 			return err
 		}
+		examBefore := x.base.M.Examined
+		x.resultSpanBudget = span.ResultCap
 		matches, err := x.base.ProbeOpposite(port, it.Tuple)
 		if err != nil {
 			return err
 		}
 		x.base.Obs.Event(obs.KindProbe, it.Tuple.Ts, port, int64(matches), 0)
+		if it.Tuple.Span != 0 && x.cfg.Instr.SpansEnabled() {
+			x.cfg.Instr.Span(span.KindTupleProbe, it.Tuple.Span, it.Tuple.Ts, port,
+				int64(matches), x.base.M.Examined-examBefore, 0, 0)
+		}
 		if _, err := x.base.States[port].Insert(it.Tuple); err != nil {
 			return err
 		}
@@ -407,10 +500,18 @@ func (x *XJoin) Finish(now stream.Time) error {
 		}
 	} else if x.base.NeedsPass() {
 		start := time.Now()
+		spansOn := x.cfg.Instr.SpansEnabled()
+		if spansOn {
+			x.beginPassTrace(x.now, false)
+		}
 		if err := x.base.DiskPass(x.now, joinbase.PassHooks{}); err != nil {
 			return err
 		}
-		x.lat.RecordDiskPass(time.Since(start).Nanoseconds())
+		wall := time.Since(start).Nanoseconds()
+		x.lat.RecordDiskPass(wall)
+		if spansOn {
+			x.endPassTrace(x.now, wall)
+		}
 	}
 	x.finished = true
 	if lv := x.cfg.Instr.Live(); lv != nil {
