@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check oracle traced-oracle fuzz bench bench-alloc bench-scaling flight-sample trace-sample
+.PHONY: build test vet lint race check oracle traced-oracle fuzz bench bench-alloc bench-scaling flight-sample trace-sample
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static invariants: the five pjoinlint analyzers (hotpath, opcontract,
+# poolsafe, spanpair, locksafe) over the whole tree. Zero unsuppressed
+# diagnostics is the gate; suppressions need a //pjoin:allow with a
+# justification. See DESIGN.md §14.
+lint:
+	$(GO) run ./cmd/pjoinlint ./...
+
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
 
 # Differential oracle soak: ORACLE_SEEDS seeded scenarios, each run
 # through the full operator configuration matrix (PJoin/XJoin x index x

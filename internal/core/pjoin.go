@@ -1106,18 +1106,13 @@ func (j *PJoin) diskPass(now stream.Time) error {
 		return nil
 	}
 	start := time.Now()
-	spansOn := j.obs.SpansEnabled()
-	if spansOn {
-		j.beginPassTrace(now, false)
-	}
+	j.beginPassTrace(now, false)
 	if err := j.base.DiskPass(now, j.passHooks()); err != nil {
 		return err
 	}
 	wall := time.Since(start).Nanoseconds()
 	j.lat.RecordDiskPass(wall)
-	if spansOn {
-		j.endPassTrace(now, wall)
-	}
+	j.endPassTrace(now, wall)
 	j.passComplete()
 	return nil
 }
@@ -1143,8 +1138,14 @@ func (j *PJoin) passIOSnapshot() passIO {
 }
 
 // beginPassTrace opens a provenance trace for a disk pass; chunked
-// marks it resumable (pass_start N = 1).
+// marks it resumable (pass_start N = 1). No-op with spans disabled, so
+// call sites stay unconditional (spanpair pairs them on all paths).
+//
+//pjoin:span begin pass
 func (j *PJoin) beginPassTrace(now stream.Time, chunked bool) {
+	if !j.obs.SpansEnabled() {
+		return
+	}
 	j.passTrace = span.NewID()
 	j.passIOBase = j.passIOSnapshot()
 	j.passExamBase = j.base.M.DiskExamined
@@ -1158,8 +1159,13 @@ func (j *PJoin) beginPassTrace(now stream.Time, chunked bool) {
 
 // endPassTrace closes a pass trace: one pass_io span attributing the
 // spill/cache traffic the pass caused, one pass_end span with the
-// pass's work totals and wall time.
+// pass's work totals and wall time. No-op with spans disabled.
+//
+//pjoin:span end pass
 func (j *PJoin) endPassTrace(now stream.Time, wall int64) {
+	if !j.obs.SpansEnabled() {
+		return
+	}
 	io := j.passIOSnapshot()
 	j.obs.Span(span.KindPassIO, j.passTrace, now, -1,
 		io.reads-j.passIOBase.reads, io.hits-j.passIOBase.hits,
@@ -1194,9 +1200,7 @@ func (j *PJoin) stepDiskTask(now stream.Time) error {
 		j.diskTaskStart = time.Now()
 		j.pendBound[0] = j.psets[0].MaxPID()
 		j.pendBound[1] = j.psets[1].MaxPID()
-		if spansOn {
-			j.beginPassTrace(now, true)
-		}
+		j.beginPassTrace(now, true)
 	}
 	if spansOn {
 		j.passStepIO = j.passIOSnapshot()
@@ -1221,14 +1225,13 @@ func (j *PJoin) stepDiskTask(now stream.Time) error {
 	}
 	if !done {
 		j.lat.RecordDiskChunk(stepWall)
+		//pjoin:allow spanpair a resumable pass stays open across steps by design; the completing step closes it, EOS-close covers aborts
 		return nil
 	}
 	j.diskTask = nil
 	passWall := time.Since(j.diskTaskStart).Nanoseconds()
 	j.lat.RecordDiskPass(passWall)
-	if spansOn {
-		j.endPassTrace(now, passWall)
-	}
+	j.endPassTrace(now, passWall)
 	// Only marks present when the pass started are provably complete:
 	// an entry index-built mid-pass may have missed disk tuples in
 	// buckets the pass had already read past (see pendBound).

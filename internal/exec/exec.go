@@ -51,7 +51,7 @@ type Edge struct {
 	size   int
 	linger time.Duration
 
-	mu     sync.Mutex
+	mu     sync.Mutex //pjoin:lockrank leaf
 	buf    []stream.Item
 	armed  bool // a linger timer callback is pending
 	closed bool
@@ -252,6 +252,8 @@ func (p *Pipeline) Edge() *Edge {
 }
 
 // getBatch returns an empty batch buffer with capacity for a full batch.
+//
+//pjoin:pool get
 func (p *Pipeline) getBatch() []stream.Item {
 	if b, ok := p.batchPool.Get().(*[]stream.Item); ok {
 		return (*b)[:0]
@@ -265,6 +267,8 @@ func (p *Pipeline) getBatch() []stream.Item {
 
 // putBatch recycles a consumed batch buffer, clearing the tuple pointers
 // so the pool does not pin them.
+//
+//pjoin:pool put
 func (p *Pipeline) putBatch(b []stream.Item) {
 	for i := range b {
 		b[i] = stream.Item{}
@@ -289,6 +293,7 @@ func (p *Pipeline) elapsed() time.Duration {
 // would let the operator's clock run backwards whenever restamping had
 // pushed item times ahead of the wall.
 func (p *Pipeline) sysNow(lastTs stream.Time) stream.Time {
+	//pjoin:allow opcontract sysNow IS the sanctioned wall-to-stream clamp: every executor timestamp funnels through here
 	now := stream.Time(p.elapsed())
 	if now <= lastTs {
 		now = lastTs + 1
@@ -461,6 +466,7 @@ func (p *Pipeline) runOperator(o op.Operator, inputs []*Edge, pull *PullHandle) 
 	go func() {
 		defer p.wg.Done()
 		oin := p.Obs.Derive(o.Name(), -1)
+		//pjoin:allow opcontract op-start is an executor lifecycle event stamped before any item exists to clamp against
 		oin.Event(obs.KindOpStart, stream.Time(p.elapsed()), -1, 0, 0)
 		var lastTs stream.Time
 		// stamp assigns the system arrival timestamp: strictly
@@ -587,6 +593,7 @@ func (p *Pipeline) runOperatorBatched(o op.Operator, inputs []*Edge, pull *PullH
 				select {
 				case merged <- portBatch{port: port, items: b}:
 				case <-p.ctx.Done():
+					p.putBatch(b)
 					return
 				}
 			}
@@ -601,6 +608,7 @@ func (p *Pipeline) runOperatorBatched(o op.Operator, inputs []*Edge, pull *PullH
 	go func() {
 		defer p.wg.Done()
 		oin := p.Obs.Derive(o.Name(), -1)
+		//pjoin:allow opcontract op-start is an executor lifecycle event stamped before any item exists to clamp against
 		oin.Event(obs.KindOpStart, stream.Time(p.elapsed()), -1, 0, 0)
 		var lastTs stream.Time
 		// stamp mirrors the per-item driver: strictly increasing system

@@ -154,6 +154,12 @@ func (b *Base) emitPair(sideOfX int, x, y *store.StoredTuple) error {
 // state's seq-guarded MemProbe: an identical-key probe with no state
 // mutation in between (a hot-key run inside a batch) is answered from
 // the cache, with the examined count a fresh probe would have reported.
+//
+// The probe machinery itself is zero-alloc; result construction
+// (Tuple.Join inside emitPair) allocates the output tuple by design
+// and lives outside this package's call graph.
+//
+//pjoin:hotpath
 func (b *Base) ProbeOpposite(s int, t *stream.Tuple) (int, error) {
 	opp := b.States[1-s]
 	key := b.States[s].Key(t)
@@ -173,6 +179,8 @@ func (b *Base) ProbeOpposite(s int, t *stream.Tuple) (int, error) {
 // call it at batch boundaries and from Finish; correctness does not
 // depend on it (the seq guard already rejects stale hits), only GC
 // hygiene does.
+//
+//pjoin:hotpath
 func (b *Base) InvalidateProbeCache() {
 	b.probeCache[0].Release()
 	b.probeCache[1].Release()

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Edge is one static call site: caller → callee within the package.
+type Edge struct {
+	Callee *types.Func
+	Call   *ast.CallExpr
+}
+
+// CallGraph is the intra-package static call graph. Dynamic dispatch —
+// interface methods, func-typed fields, closures passed around as
+// values — is invisible by design; analyzers that use reachability
+// document that approximation (DESIGN.md §14). Code inside a FuncLit
+// counts as part of the declaring function: a closure built in Finish
+// is Finish-reachable.
+type CallGraph struct {
+	// Decls maps every function and method declared in the package
+	// (with a body) to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Out lists each declared function's static calls that resolve to
+	// another function declared in the same package.
+	Out map[*types.Func][]Edge
+}
+
+// BuildCallGraph constructs the intra-package call graph for the pass.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Out:   make(map[*types.Func][]Edge),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+		}
+	}
+	for fn, fd := range g.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pass.FuncFor(call)
+			if callee == nil {
+				return true
+			}
+			if _, declared := g.Decls[callee]; declared {
+				g.Out[fn] = append(g.Out[fn], Edge{Callee: callee, Call: call})
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Reachable returns the set of declared functions reachable from roots
+// (inclusive) over static intra-package edges.
+func (g *CallGraph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		for _, e := range g.Out[fn] {
+			if !seen[e.Callee] {
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies
+// //pjoin:allow suppressions, and reports malformed markers and stale
+// allows as findings of the pseudo-analyzers "marker" and "allow".
+// The returned slice contains suppressed diagnostics too (flagged as
+// such) so callers can render or export the full picture; gating
+// should count only the unsuppressed ones (see Unsuppressed).
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Markers:  pkg.Markers,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range raw {
+			if dir, ok := pkg.Markers.Suppress(d.Analyzer, d.Pos.Filename, d.Pos.Line); ok {
+				d.Suppressed = true
+				d.Reason = dir.Reason
+			}
+			all = append(all, d)
+		}
+		for _, bad := range pkg.Markers.Bad {
+			all = append(all, Diagnostic{
+				Analyzer: "marker",
+				Pos:      fset.Position(bad.Pos),
+				Message:  bad.Msg,
+			})
+		}
+		for _, stale := range pkg.Markers.StaleAllows() {
+			all = append(all, Diagnostic{
+				Analyzer: "allow",
+				Pos:      fset.Position(stale.Pos),
+				Message:  fmt.Sprintf("stale //pjoin:allow %s: no %s diagnostic here anymore — delete it", stale.Args[0], stale.Args[0]),
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// Unsuppressed filters to the diagnostics that should gate a build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

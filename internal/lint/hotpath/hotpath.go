@@ -1,0 +1,222 @@
+// Package hotpath implements the pjoinlint analyzer that proves the
+// //pjoin:hotpath zero-alloc contract: functions on the probe /
+// insert / punctuation-match / span-record paths must not allocate,
+// read the wall clock, block, or take locks. The marker propagates
+// through the intra-package static call graph, so marking ProbeMem
+// also covers the index lookups it calls.
+//
+// The check is deliberately syntactic and conservative where escape
+// analysis would be needed:
+//
+//   - append is NOT flagged: amortized growth is part of the design
+//     and the runtime AllocsPerRun guards pin the steady state.
+//   - calls that cross a package boundary or dispatch dynamically
+//     (interface methods, func fields) are invisible; the dynamic
+//     alloc guards remain the backstop there.
+//   - &composite escapes are flagged even when escape analysis might
+//     stack-allocate them — on a hot path that gamble is not taken.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pjoin/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "check that //pjoin:hotpath functions and their intra-package callees " +
+		"do not allocate, read the wall clock, block, or acquire locks",
+	Run: run,
+}
+
+// forbiddenPkgs allocate or format on essentially every call.
+var forbiddenPkgs = map[string]bool{
+	"fmt": true, "log": true, "reflect": true, "sort": true,
+	"errors": true, "strconv": true, "regexp": true, "os": true,
+}
+
+// wallClockFuncs in package time read the clock or arm timers.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	"Tick": true, "Sleep": true,
+}
+
+// lockMethods in package sync block or serialize.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "Wait": true}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+
+	var roots []*types.Func
+	for fn, fd := range g.Decls {
+		if analysis.HasFuncDirective(fd, "hotpath", "") {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name() < roots[j].Name() })
+
+	// rootOf attributes each reachable function to the first root that
+	// reaches it, so diagnostics say which marker pulled the function
+	// onto the hot path.
+	rootOf := make(map[*types.Func]*types.Func)
+	for _, root := range roots {
+		for fn := range g.Reachable(root) {
+			if _, claimed := rootOf[fn]; !claimed {
+				rootOf[fn] = root
+			}
+		}
+	}
+
+	var fns []*types.Func
+	for fn := range rootOf {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Name() < fns[j].Name() })
+	for _, fn := range fns {
+		checkBody(pass, fn, g.Decls[fn], rootOf[fn])
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *types.Func, fd *ast.FuncDecl, root *types.Func) {
+	qual := types.RelativeTo(pass.Pkg)
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "hot path %s: %s (root %s)", funcLabel(fn, qual), what, funcLabel(root, qual))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return checkCall(pass, n, report)
+		case *ast.FuncLit:
+			report(n.Pos(), "allocates: closure literal")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "starts a goroutine")
+			return false
+		case *ast.SendStmt:
+			report(n.Pos(), "blocks: channel send")
+		case *ast.SelectStmt:
+			report(n.Pos(), "blocks: select")
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.ARROW:
+				report(n.Pos(), "blocks: channel receive")
+			case token.AND:
+				if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); lit {
+					report(n.Pos(), "allocates: &composite literal escapes")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "allocates: slice literal")
+				return false
+			case *types.Map:
+				report(n.Pos(), "allocates: map literal")
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				report(n.Pos(), "allocates: string concatenation")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall vets one call expression; its return value is the Inspect
+// descend decision.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string)) bool {
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type, report)
+		return true
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "allocates: make")
+			case "new":
+				report(call.Pos(), "allocates: new")
+			}
+			return true
+		}
+	}
+	callee := pass.FuncFor(call)
+	if callee == nil || callee.Pkg() == nil {
+		return true // dynamic or universe call: invisible, documented
+	}
+	qual := types.RelativeTo(pass.Pkg)
+	switch path := callee.Pkg().Path(); {
+	case forbiddenPkgs[path]:
+		report(call.Pos(), "calls "+funcLabel(callee, qual)+" (forbidden package "+path+")")
+	case path == "time" && wallClockFuncs[callee.Name()]:
+		report(call.Pos(), "reads the wall clock: "+funcLabel(callee, qual))
+	case path == "sync" && lockMethods[callee.Name()]:
+		report(call.Pos(), "acquires a lock: "+funcLabel(callee, qual))
+	}
+	return true
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type, report func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := pass.Info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	qual := types.RelativeTo(pass.Pkg)
+	if types.IsInterface(to) && !types.IsInterface(from) {
+		report(call.Pos(), "boxes "+types.TypeString(from, qual)+" into interface "+types.TypeString(to, qual))
+		return
+	}
+	if stringBytesConversion(from, to) || stringBytesConversion(to, from) {
+		report(call.Pos(), "allocates: conversion between string and byte/rune slice")
+	}
+}
+
+// stringBytesConversion reports a string → []byte / []rune shape.
+func stringBytesConversion(from, to types.Type) bool {
+	if b, ok := from.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	sl, ok := to.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune)
+}
+
+func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// funcLabel renders a function for diagnostics: methods as
+// (recv).Name, cross-package functions as pkg.Name.
+func funcLabel(fn *types.Func, qual types.Qualifier) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return "(" + types.TypeString(recv.Type(), qual) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		if q := qual(fn.Pkg()); q != "" {
+			return q + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

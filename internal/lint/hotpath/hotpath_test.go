@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"pjoin/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "hot")
+}

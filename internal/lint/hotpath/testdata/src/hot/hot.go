@@ -1,0 +1,67 @@
+// Package hot exercises the hotpath analyzer: //pjoin:hotpath roots
+// and their intra-package callees must not allocate, read the wall
+// clock, block, or acquire locks.
+package hot
+
+import (
+	"sync"
+	"time"
+)
+
+type probe struct {
+	mu  sync.Mutex
+	buf []byte
+	out chan int
+}
+
+// Hot is a marked root; every violation in its call graph is
+// attributed back to it.
+//
+//pjoin:hotpath
+func (p *probe) Hot(n int) int {
+	b := make([]byte, n) // want "^hot path \\(\\*probe\\)\\.Hot: allocates: make \\(root \\(\\*probe\\)\\.Hot\\)$"
+	p.buf = b
+	p.mu.Lock()                         // want "acquires a lock: \\(\\*sync\\.Mutex\\)\\.Lock"
+	_ = time.Now()                      // want "reads the wall clock: time\\.Now"
+	p.out <- n                          // want "blocks: channel send"
+	f := func() int { _ = b; return n } // want "allocates: closure literal"
+	return helper(n) + f()
+}
+
+// helper is unmarked but reachable from Hot, so its body is checked
+// with Hot as the attributed root.
+func helper(n int) int {
+	s := []int{n} // want "hot path helper: allocates: slice literal \\(root \\(\\*probe\\)\\.Hot\\)"
+	return s[0]
+}
+
+// Boxing and string conversions allocate.
+//
+//pjoin:hotpath
+func Describe(name string, v int) int {
+	var sink interface{} = v // no diagnostic: assignment boxing is implicit, only conversions are flagged
+	_ = sink
+	_ = interface{}(v)   // want "boxes int into interface interface\\{\\}"
+	bs := []byte(name)   // want "allocates: conversion between string and byte/rune slice"
+	n := name + "suffix" // want "allocates: string concatenation"
+	return len(bs) + len(n)
+}
+
+// Cold is unmarked and unreachable from any root: it may allocate
+// freely.
+func Cold(n int) []byte {
+	return make([]byte, n)
+}
+
+// Lean is marked but clean: index loops, arithmetic, appends to a
+// caller-owned slice, and constant concatenation are all allowed.
+//
+//pjoin:hotpath
+func Lean(dst []int, xs []int) []int {
+	const greeting = "hello, " + "world" // constant-folded: free
+	_ = greeting
+	for _, x := range xs {
+		dst = append(dst, x*2)
+	}
+	return dst
+}

@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"pjoin/internal/lint/linttest"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "locks")
+}

@@ -1,0 +1,309 @@
+// Package opcontract implements the pjoinlint analyzer for the
+// operator driver contract (internal/op, contract rules 1–5):
+//
+//   - EOS is emitted exactly once, from Finish: stream.EOSItem must
+//     not be constructed in code reachable from Process / OnIdle /
+//     ProcessBatch, and every Finish must reach an EOSItem call.
+//   - All emission is routed through the driver's Emitter: no raw
+//     sends on (and no closing of) channels carrying stream.Item or
+//     []stream.Item from operator-reachable code.
+//   - Operators must observe EOS per port: code reachable from
+//     Process/ProcessBatch must inspect stream.KindEOS.
+//   - Stream time is data time: conversions stream.Time(x) where x is
+//     wall-clock derived (time.Now/Since/Until, directly or through
+//     one intra-package call) are flagged; the executor's sanctioned
+//     wall→stream clamp carries an //pjoin:allow.
+//
+// Reachability is the intra-package static call graph; dynamic
+// dispatch is invisible (DESIGN.md §14 documents the approximation).
+package opcontract
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"pjoin/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "opcontract",
+	Doc: "check op.Operator/op.BatchProcessor implementations against the driver " +
+		"contract: EOS only from Finish, emission only via the Emitter, EOS observed " +
+		"per port, and no wall-clock-derived stream.Time",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	streamPkg := analysis.ImportWithSuffix(pass.Pkg, "stream")
+	if streamPkg == nil {
+		return nil // nothing stream-typed to misuse
+	}
+	g := analysis.BuildCallGraph(pass)
+	checkWallClock(pass, g, streamPkg)
+	if pass.Pkg == streamPkg {
+		return nil // the contract types' own package is exempt
+	}
+
+	opPkg := analysis.ImportWithSuffix(pass.Pkg, "op")
+	if opPkg == nil {
+		return nil
+	}
+	operator := ifaceOf(opPkg, "Operator")
+	batcher := ifaceOf(opPkg, "BatchProcessor")
+	if operator == nil {
+		return nil
+	}
+
+	var impls []implType
+	scope := pass.Pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		if types.IsInterface(T) {
+			continue
+		}
+		ptr := types.NewPointer(T)
+		if !types.Implements(T, operator) && !types.Implements(ptr, operator) {
+			continue
+		}
+		im := implType{name: name}
+		im.process = methodDecl(pass, g, T, "Process")
+		im.onIdle = methodDecl(pass, g, T, "OnIdle")
+		im.finish = methodDecl(pass, g, T, "Finish")
+		if batcher != nil && (types.Implements(T, batcher) || types.Implements(ptr, batcher)) {
+			im.processBatch = methodDecl(pass, g, T, "ProcessBatch")
+		}
+		impls = append(impls, im)
+	}
+	if len(impls) == 0 {
+		return nil
+	}
+
+	var processRoots, allRoots []*types.Func
+	for _, im := range impls {
+		for _, fn := range []*types.Func{im.process, im.processBatch, im.onIdle} {
+			if fn != nil {
+				processRoots = append(processRoots, fn)
+				allRoots = append(allRoots, fn)
+			}
+		}
+		if im.finish != nil {
+			allRoots = append(allRoots, im.finish)
+		}
+	}
+	reachProcess := g.Reachable(processRoots...)
+	reachAll := g.Reachable(allRoots...)
+
+	checkEOSAndSends(pass, g, streamPkg, reachProcess, reachAll)
+	for _, im := range impls {
+		checkPerType(pass, g, streamPkg, im)
+	}
+	return nil
+}
+
+type implType struct {
+	name         string
+	process      *types.Func
+	processBatch *types.Func
+	onIdle       *types.Func
+	finish       *types.Func
+}
+
+func ifaceOf(pkg *types.Package, name string) *types.Interface {
+	tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := tn.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// methodDecl resolves T's method by name to its in-package declaration
+// (nil for promoted methods declared elsewhere — those bodies are
+// outside this package's view).
+func methodDecl(pass *analysis.Pass, g *analysis.CallGraph, T types.Type, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(T), true, pass.Pkg, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, declared := g.Decls[fn]; !declared {
+		return nil
+	}
+	return fn
+}
+
+// checkEOSAndSends walks every operator-reachable function body for
+// EOSItem construction outside Finish and for raw stream-item channel
+// traffic.
+func checkEOSAndSends(pass *analysis.Pass, g *analysis.CallGraph, streamPkg *types.Package, reachProcess, reachAll map[*types.Func]bool) {
+	for fn := range reachAll {
+		fd := g.Decls[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if callee := pass.FuncFor(n); callee != nil &&
+					callee.Pkg() == streamPkg && callee.Name() == "EOSItem" && reachProcess[fn] {
+					pass.Reportf(n.Pos(), "constructs stream.EOSItem in Process-reachable code: the driver contract emits EOS exactly once, from Finish")
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 &&
+						isStreamItemChan(pass.Info.TypeOf(n.Args[0]), streamPkg) {
+						pass.Reportf(n.Pos(), "closes a stream-item channel from operator code: EOS is signaled with stream.KindEOS via the Emitter, not channel close")
+					}
+				}
+			case *ast.SendStmt:
+				if isStreamItemChan(pass.Info.TypeOf(n.Chan), streamPkg) {
+					pass.Reportf(n.Pos(), "raw channel send of stream items from operator code: route emission through the driver's Emitter")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStreamItemChan reports whether t is chan stream.Item or
+// chan []stream.Item (any direction).
+func isStreamItemChan(t types.Type, streamPkg *types.Package) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	elem := ch.Elem()
+	if sl, ok := elem.Underlying().(*types.Slice); ok {
+		elem = sl.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	return ok && named.Obj().Pkg() == streamPkg && named.Obj().Name() == "Item"
+}
+
+// checkPerType enforces the per-implementation obligations: Process
+// must observe KindEOS, Finish must reach an EOSItem emission.
+func checkPerType(pass *analysis.Pass, g *analysis.CallGraph, streamPkg *types.Package, im implType) {
+	if im.process != nil {
+		roots := []*types.Func{im.process}
+		if im.processBatch != nil {
+			roots = append(roots, im.processBatch)
+		}
+		if !reachReferences(pass, g, g.Reachable(roots...), streamPkg, "KindEOS") {
+			pass.Reportf(g.Decls[im.process].Name.Pos(),
+				"%s.Process never inspects stream.KindEOS: operators must count EOS per port (driver contract)", im.name)
+		}
+	}
+	if im.finish != nil {
+		if !reachCalls(pass, g, g.Reachable(im.finish), streamPkg, "EOSItem") {
+			pass.Reportf(g.Decls[im.finish].Name.Pos(),
+				"%s.Finish never emits stream.EOSItem: Finish must emit EOS exactly once (driver contract)", im.name)
+		}
+	}
+}
+
+func reachReferences(pass *analysis.Pass, g *analysis.CallGraph, reach map[*types.Func]bool, pkg *types.Package, name string) bool {
+	for fn := range reach {
+		found := false
+		ast.Inspect(g.Decls[fn].Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				if obj := pass.Info.Uses[id]; obj != nil && obj.Pkg() == pkg {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func reachCalls(pass *analysis.Pass, g *analysis.CallGraph, reach map[*types.Func]bool, pkg *types.Package, name string) bool {
+	for fn := range reach {
+		found := false
+		ast.Inspect(g.Decls[fn].Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := pass.FuncFor(call); callee != nil && callee.Pkg() == pkg && callee.Name() == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWallClock flags stream.Time(x) conversions whose operand is
+// wall-clock derived: x contains a call to time.Now/Since/Until, or to
+// an intra-package function that itself calls one directly (one level
+// of taint — deeper laundering is out of scope and documented).
+func checkWallClock(pass *analysis.Pass, g *analysis.CallGraph, streamPkg *types.Package) {
+	wallDirect := make(map[*types.Func]bool)
+	for fn, fd := range g.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := pass.FuncFor(call); callee != nil && isWallClockFunc(callee) {
+					wallDirect[fn] = true
+				}
+			}
+			return !wallDirect[fn]
+		})
+	}
+	for _, fd := range g.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() || !isStreamTime(tv.Type, streamPkg) || len(call.Args) != 1 {
+				return true
+			}
+			if tainted(pass, wallDirect, call.Args[0]) {
+				pass.Reportf(call.Pos(), "stamps stream.Time from the wall clock: stream time is data time (item timestamps), not time.Now")
+			}
+			return true
+		})
+	}
+}
+
+func isWallClockFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}
+
+func isStreamTime(t types.Type, streamPkg *types.Package) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == streamPkg && named.Obj().Name() == "Time"
+}
+
+func tainted(pass *analysis.Pass, wallDirect map[*types.Func]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if callee := pass.FuncFor(call); callee != nil && (isWallClockFunc(callee) || wallDirect[callee]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

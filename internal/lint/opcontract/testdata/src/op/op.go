@@ -1,0 +1,22 @@
+// Package op stubs the operator driver contract for the opcontract
+// fixtures.
+package op
+
+import "stream"
+
+// Emitter is the driver's emission funnel.
+type Emitter interface {
+	Emit(it stream.Item)
+}
+
+// Operator is the per-item contract.
+type Operator interface {
+	Process(in int, it stream.Item, em Emitter) error
+	Finish(em Emitter) error
+}
+
+// BatchProcessor extends Operator with batched delivery.
+type BatchProcessor interface {
+	Operator
+	ProcessBatch(in int, its []stream.Item, em Emitter) error
+}

@@ -1,0 +1,51 @@
+// Package ops holds one operator that violates every driver-contract
+// rule and one that observes them all.
+package ops
+
+import (
+	"op"
+	"stream"
+	"time"
+)
+
+// Bad breaks every rule in one type.
+type Bad struct {
+	out chan stream.Item
+}
+
+func (b *Bad) Process(in int, it stream.Item, em op.Emitter) error { // want "^Bad\\.Process never inspects stream\\.KindEOS: operators must count EOS per port \\(driver contract\\)$"
+	em.Emit(stream.EOSItem(it.At)) // want "constructs stream\\.EOSItem in Process-reachable code"
+	b.out <- it                    // want "raw channel send of stream items from operator code"
+	close(b.out)                   // want "closes a stream-item channel from operator code"
+	return nil
+}
+
+func (b *Bad) Finish(em op.Emitter) error { // want "Bad\\.Finish never emits stream\\.EOSItem: Finish must emit EOS exactly once"
+	return nil
+}
+
+// nowStamp derives stream time from the wall clock — the executor's
+// clamp is the only sanctioned place for this.
+func nowStamp() stream.Time {
+	return stream.Time(time.Now().UnixNano()) // want "stamps stream\\.Time from the wall clock: stream time is data time"
+}
+
+// Good observes the contract: EOS counted in Process, emitted once
+// from Finish, all emission through the Emitter.
+type Good struct {
+	eos int
+}
+
+func (g *Good) Process(in int, it stream.Item, em op.Emitter) error {
+	if it.Kind == stream.KindEOS {
+		g.eos++
+		return nil
+	}
+	em.Emit(it)
+	return nil
+}
+
+func (g *Good) Finish(em op.Emitter) error {
+	em.Emit(stream.EOSItem(0))
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package stream stubs the item/time contract types for the
+// opcontract fixtures; only the names the analyzer keys on matter.
+package stream
+
+// Kind tags an item.
+type Kind uint8
+
+// The item kinds the contract cares about.
+const (
+	KindTuple Kind = iota
+	KindPunct
+	KindEOS
+)
+
+// Time is virtual stream time.
+type Time int64
+
+// Item is one stream element.
+type Item struct {
+	Kind Kind
+	At   Time
+}
+
+// EOSItem builds the end-of-stream item.
+func EOSItem(at Time) Item { return Item{Kind: KindEOS, At: at} }

@@ -1,0 +1,92 @@
+// Package pool exercises poolsafe: a batch from the get accessor must
+// be recycled or ownership-transferred on every path, and never used
+// after it is put back.
+package pool
+
+type batch []int
+
+var free []batch
+
+// getBatch hands out a pooled batch.
+//
+//pjoin:pool get
+func getBatch() batch {
+	if n := len(free); n > 0 {
+		b := free[n-1]
+		free = free[:n-1]
+		return b
+	}
+	return make(batch, 0, 16)
+}
+
+// putBatch recycles a batch.
+//
+//pjoin:pool put
+func putBatch(b batch) {
+	free = append(free, b[:0])
+}
+
+func sink(b batch) {}
+
+var shipped = make(chan batch, 1)
+
+type boom struct{}
+
+func (boom) Error() string { return "boom" }
+
+var errBoom error = boom{}
+
+// leak drops the batch on the early-return path.
+func leak(cond bool) {
+	b := getBatch()
+	if cond {
+		return // want "^pooled batch b \\(obtained at line 41\\) is not recycled on this path: put it back or transfer ownership$"
+	}
+	putBatch(b)
+}
+
+// useAfterPut touches the batch after recycling it.
+func useAfterPut() int {
+	b := getBatch()
+	putBatch(b)
+	return len(b) // want "use of pooled batch b after it was recycled at line \\d+"
+}
+
+// loopLeak obtains a fresh batch each iteration without discharging it.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		b := getBatch() // want "pooled batch b is not recycled before the next loop iteration"
+		if len(b) > 0 {
+			b[0] = i
+		}
+	}
+}
+
+// handOff transfers ownership to the caller: clean.
+func handOff() batch {
+	return getBatch()
+}
+
+// process transfers ownership to a callee: clean.
+func process() {
+	b := getBatch()
+	b = append(b, 1)
+	sink(b)
+}
+
+// ship transfers ownership over a channel: clean.
+func ship() {
+	b := getBatch()
+	shipped <- b
+}
+
+// failable leaks only on the error path, which is exempt: pipeline
+// teardown refills pools from scratch.
+func failable(fail bool) error {
+	b := getBatch()
+	if fail {
+		return errBoom
+	}
+	putBatch(b)
+	return nil
+}

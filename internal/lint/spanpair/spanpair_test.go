@@ -1,0 +1,11 @@
+package spanpair
+
+import (
+	"testing"
+
+	"pjoin/internal/lint/linttest"
+)
+
+func TestSpanpair(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "spans", "nopair", "arrive")
+}

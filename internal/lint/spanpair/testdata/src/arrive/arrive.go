@@ -1,0 +1,10 @@
+// Package arrive emits punctuation-arrival spans but never a
+// punctuation terminal, so every lifecycle it opens dangles.
+package arrive
+
+import "span"
+
+// Observe records a punctuation arrival.
+func Observe() span.Kind {
+	return span.KindPunctArrive // want "package emits span\\.KindPunctArrive but never a punctuation terminal"
+}

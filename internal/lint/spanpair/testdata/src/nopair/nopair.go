@@ -1,0 +1,12 @@
+// Package nopair opens the pass lifecycle but declares no way to
+// close it: no end-marked counterpart and no terminal kind reference.
+package nopair
+
+import "span"
+
+var sink span.Kind
+
+// beginPass opens a pass span.
+//
+//pjoin:span begin pass
+func beginPass() { sink = span.KindPassBegin } // want "span family \"pass\" has a begin-marked function but no end-marked counterpart in this package"

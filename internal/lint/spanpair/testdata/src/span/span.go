@@ -1,0 +1,14 @@
+// Package span stubs the span kinds the spanpair analyzer keys on.
+package span
+
+// Kind tags a span.
+type Kind uint8
+
+// The lifecycle kinds.
+const (
+	KindPassBegin Kind = iota
+	KindPassEnd
+	KindPunctArrive
+	KindPunctEmit
+	KindPunctEOSClose
+)

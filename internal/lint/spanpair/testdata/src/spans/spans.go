@@ -1,0 +1,66 @@
+// Package spans exercises spanpair's path rule: every span-begin call
+// must be matched by a span-end on all clean exit paths.
+package spans
+
+import "span"
+
+var sink span.Kind
+
+type boom struct{}
+
+func (boom) Error() string { return "boom" }
+
+var errBoom error = boom{}
+
+// beginPass opens a pass span.
+//
+//pjoin:span begin pass
+func beginPass() { sink = span.KindPassBegin }
+
+// endPass closes a pass span.
+//
+//pjoin:span end pass
+func endPass() { sink = span.KindPassEnd }
+
+// balanced pairs begin and end on the only path: clean.
+func balanced() {
+	beginPass()
+	endPass()
+}
+
+// unbalanced leaks the open span on the early-return path.
+func unbalanced(cond bool) {
+	beginPass()
+	if cond {
+		return // want "^span family \"pass\" opened at line 33 is not closed on this path$"
+	}
+	endPass()
+}
+
+// loopLeak opens a span each iteration without closing it.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		beginPass() // want "span family \"pass\" is not closed before the next loop iteration"
+	}
+}
+
+// branched closes the span on both arms: clean.
+func branched(cond bool) {
+	beginPass()
+	if cond {
+		endPass()
+		return
+	}
+	endPass()
+}
+
+// failing leaks only on the error path, which is exempt: the traced
+// oracle's EOS-close accounting covers teardown.
+func failing(fail bool) error {
+	beginPass()
+	if fail {
+		return errBoom
+	}
+	endPass()
+	return nil
+}

@@ -86,6 +86,8 @@ func BucketBounds(i int) (lo, hi int64) {
 // Record adds one sample. Negative values clamp to zero (latencies are
 // non-negative by construction; the clamp keeps a clock anomaly from
 // panicking the hot path). Record on a nil histogram is a no-op.
+//
+//pjoin:hotpath
 func (h *Hist) Record(v int64) {
 	if h == nil {
 		return

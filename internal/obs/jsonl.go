@@ -16,7 +16,7 @@ import (
 // strconv.Append* so a traced run does not pay encoding/json reflection
 // per event; the hot cost is one mutex and a buffered write.
 type JSONL struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //pjoin:lockrank leaf
 	w      *bufio.Writer
 	buf    []byte
 	events int64

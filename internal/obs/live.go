@@ -25,7 +25,7 @@ type Live struct {
 	every int64        // sampling period, ns of virtual time
 	next  atomic.Int64 // virtual deadline of the next sample
 
-	mu     sync.Mutex
+	mu     sync.Mutex //pjoin:lockrank 10
 	gauges []gauge
 	series map[string]*metrics.Series
 	last   map[string]float64

@@ -218,6 +218,8 @@ func (in *Instr) Enabled() bool {
 
 // Event records a trace event with the handle's identity filled in.
 // No-op (and allocation-free) when tracing is disabled.
+//
+//pjoin:hotpath
 func (in *Instr) Event(k Kind, at stream.Time, side int, n, m int64) {
 	if in == nil || !in.tr.Enabled() {
 		return
@@ -258,12 +260,15 @@ func (in *Instr) SpansEnabled() bool {
 // alone, and a time.Now per result span is measurable against the
 // bench7 overhead budget. No-op (and allocation-free) when spans are
 // disabled.
+//
+//pjoin:hotpath
 func (in *Instr) Span(k span.Kind, trace uint64, at stream.Time, side int, n, m, bytes, dur int64) {
 	if in == nil || in.sp == nil || !in.sp.Enabled() {
 		return
 	}
 	var wall int64
 	if !k.IsTuple() {
+		//pjoin:allow hotpath non-tuple spans (punct, pass) are rare and need real wall time for purge latency and cross-shard ordering
 		wall = time.Now().UnixNano()
 	}
 	in.sp.Emit(span.Span{

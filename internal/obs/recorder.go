@@ -8,7 +8,7 @@ import (
 // Recorder is a Tracer that keeps every event in memory, for tests and
 // for reconciling trace counts against operator metrics.
 type Recorder struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //pjoin:lockrank leaf
 	events []Event
 }
 
@@ -62,7 +62,7 @@ var _ Tracer = (*Recorder)(nil)
 type Ring struct {
 	detached atomic.Bool
 
-	mu    sync.Mutex
+	mu    sync.Mutex //pjoin:lockrank leaf
 	buf   []Event
 	next  int   // next write slot
 	total int64 // events ever offered (not capped)

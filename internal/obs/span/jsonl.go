@@ -23,7 +23,7 @@ import (
 // disjoint from the obs.JSONL event encoding ("sp" vs "ev"), so both
 // tracers may share one output stream and pjointrace can split them.
 type JSONL struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //pjoin:lockrank leaf
 	w     *bufio.Writer
 	buf   []byte
 	kinds [numKinds]int64

@@ -5,7 +5,7 @@ import "sync"
 // Recorder is a Tracer that collects spans in memory, for tests and
 // the oracle's reconciliation checks.
 type Recorder struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //pjoin:lockrank leaf
 	spans []Span
 }
 

@@ -26,6 +26,8 @@ func NewSampler(every int) *Sampler {
 
 // Sample reports whether the next tuple should carry a trace, and
 // counts the decision either way.
+//
+//pjoin:hotpath
 func (s *Sampler) Sample() bool {
 	if s == nil {
 		return false

@@ -195,6 +195,8 @@ var idCounter atomic.Uint64
 // NewID returns a process-unique, non-zero ID. Safe for concurrent use
 // from any number of shards; IDs are dense but carry no ordering
 // meaning beyond uniqueness.
+//
+//pjoin:hotpath
 func NewID() uint64 { return idCounter.Add(1) }
 
 // Tracer receives spans. Implementations must be safe for concurrent

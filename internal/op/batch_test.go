@@ -30,11 +30,11 @@ type callLog struct {
 	fail    error
 }
 
-func (c *callLog) Name() string                    { return "call-log" }
-func (c *callLog) NumPorts() int                   { return 1 }
-func (c *callLog) OutSchema() *stream.Schema       { return batchSchema }
+func (c *callLog) Name() string                     { return "call-log" }
+func (c *callLog) NumPorts() int                    { return 1 }
+func (c *callLog) OutSchema() *stream.Schema        { return batchSchema }
 func (c *callLog) OnIdle(stream.Time) (bool, error) { return false, nil }
-func (c *callLog) Finish(stream.Time) error        { return nil }
+func (c *callLog) Finish(stream.Time) error         { return nil }
 
 func (c *callLog) Process(port int, it stream.Item, now stream.Time) error {
 	c.perItem = append(c.perItem, now)

@@ -139,7 +139,7 @@ type shard struct {
 	// mu is held by the shard goroutine around every pj call and by
 	// metric readers around every pj snapshot; it is the only
 	// synchronisation of the shard's join state.
-	mu sync.Mutex
+	mu sync.Mutex //pjoin:lockrank 20
 
 	// failed is shard-goroutine-local: after an error the goroutine
 	// drains its queue without processing so the router never blocks.
@@ -182,7 +182,7 @@ type ShardedPJoin struct {
 	shardBufs [][]stream.Item
 	batchPool sync.Pool
 
-	errMu sync.Mutex
+	errMu sync.Mutex //pjoin:lockrank leaf
 	err   error
 }
 
@@ -252,6 +252,8 @@ func New(cfg Config, out op.Emitter) (*ShardedPJoin, error) {
 }
 
 // getBatch takes a recycled items slice from the pool (or allocates).
+//
+//pjoin:pool get
 func (j *ShardedPJoin) getBatch() []stream.Item {
 	if b, ok := j.batchPool.Get().(*[]stream.Item); ok {
 		return (*b)[:0]
@@ -261,6 +263,8 @@ func (j *ShardedPJoin) getBatch() []stream.Item {
 
 // putBatch clears a batch (so it pins no tuples) and returns it to the
 // pool. Called by shard goroutines after processing a msgBatch.
+//
+//pjoin:pool put
 func (j *ShardedPJoin) putBatch(b []stream.Item) {
 	for i := range b {
 		b[i] = stream.Item{}
@@ -722,7 +726,7 @@ type merger struct {
 	in  *obs.Instr
 	lat *obs.Lat // router-owned; PunctDelay recorded at forward
 
-	mu        sync.Mutex
+	mu        sync.Mutex //pjoin:lockrank 30
 	pending   map[string]*pendingPunct
 	punctsOut int64
 	eosSeen   int

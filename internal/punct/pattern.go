@@ -176,6 +176,12 @@ func (p Pattern) Members() []value.Value {
 // Matches reports whether v satisfies the pattern. Values of a kind the
 // pattern cannot describe (e.g. a string against an int range) do not
 // match; they are not an error, mirroring predicate evaluation to false.
+//
+// The Enum case hand-rolls its binary search instead of calling
+// sort.Search: Matches sits on the per-tuple purge/probe path and the
+// sort.Search closure is a per-call allocation there.
+//
+//pjoin:hotpath
 func (p Pattern) Matches(v value.Value) bool {
 	switch p.kind {
 	case Wildcard:
@@ -192,8 +198,16 @@ func (p Pattern) Matches(v value.Value) bool {
 		ch, err := v.Compare(p.hi)
 		return err == nil && ch <= 0
 	case Enum:
-		i := sort.Search(len(p.set), func(i int) bool { return !p.set[i].Less(v) })
-		return i < len(p.set) && p.set[i].Equal(v)
+		lo, hi := 0, len(p.set)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if p.set[mid].Less(v) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(p.set) && p.set[lo].Equal(v)
 	default:
 		return false
 	}

@@ -75,6 +75,8 @@ func (p Punctuation) PatternAt(i int) Pattern { return p.patterns[i] }
 
 // Matches implements match(t, p) for a tuple given as its attribute
 // values. A tuple of different width never matches.
+//
+//pjoin:hotpath
 func (p Punctuation) Matches(attrs []value.Value) bool {
 	if len(attrs) != len(p.patterns) {
 		return false

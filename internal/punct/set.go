@@ -236,6 +236,8 @@ func (s *Set) dropFromIndex(e *Entry) {
 // SetMatch implements setMatch(t, PS): whether any punctuation in the set
 // matches the tuple's attribute values (§2.2). This is the predicate of
 // the purge rules (eq. 1).
+//
+//pjoin:hotpath
 func (s *Set) SetMatch(attrs []value.Value) bool {
 	for _, e := range s.entries {
 		if e.P.Matches(attrs) {
@@ -254,6 +256,8 @@ func (s *Set) SetMatch(attrs []value.Value) bool {
 // Only entries exhaustive on attr qualify (every other pattern
 // wildcard): a punctuation that also constrains other attributes merely
 // excludes a subset of the tuples carrying v, which licenses nothing.
+//
+//pjoin:hotpath
 func (s *Set) SetMatchAttr(attr int, v value.Value) bool {
 	return s.FirstMatchAttr(attr, v) != nil
 }
@@ -262,6 +266,8 @@ func (s *Set) SetMatchAttr(attr int, v value.Value) bool {
 // v on attribute attr (see SetMatchAttr), or nil. When attr is the
 // set's indexed key attribute the lookup is O(1) plus the number of
 // non-constant patterns.
+//
+//pjoin:hotpath
 func (s *Set) FirstMatchAttr(attr int, v value.Value) *Entry {
 	if attr != s.keyAttr {
 		for _, e := range s.entries {
@@ -290,6 +296,8 @@ func (s *Set) FirstMatchAttr(attr int, v value.Value) *Entry {
 // FirstMatch returns the earliest-arrived entry whose punctuation matches
 // the tuple, or nil. The punctuation index always assigns a tuple "the
 // pid of the first arrived punctuation found to be matched" (§3.5).
+//
+//pjoin:hotpath
 func (s *Set) FirstMatch(attrs []value.Value) *Entry {
 	for _, e := range s.entries {
 		if e.P.Matches(attrs) {

@@ -38,7 +38,7 @@ func (s CacheStats) HitRatio() float64 {
 // from the cache performs no inner I/O and counts nothing in IOStats —
 // that saved traffic is the cache's benefit, and CacheStats reports it.
 type CachedSpill struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //pjoin:lockrank leaf
 	inner SpillStore
 	cap   int64
 	ent   map[int]*cacheEntry

@@ -43,6 +43,7 @@ type alloc struct {
 
 func (a *alloc) newStored(t *stream.Tuple) *StoredTuple {
 	if len(a.chunk) == cap(a.chunk) {
+		//pjoin:allow hotpath slab refill: one allocation per storedChunk inserts, amortized to ~0 per tuple (alloc guards pin it)
 		a.chunk = make([]StoredTuple, 0, storedChunk)
 	}
 	a.chunk = append(a.chunk, StoredTuple{T: t, PID: punct.NoPID, DTS: InMemory})
@@ -55,6 +56,7 @@ func (a *alloc) newNode() *groupNode {
 		*n = groupNode{}
 		return n
 	}
+	//pjoin:allow hotpath free-list warmup: nodes are allocated once, then recycled via freeNode for the run's lifetime
 	return &groupNode{}
 }
 
@@ -69,6 +71,7 @@ func (a *alloc) newGroup() *group {
 		*g = group{}
 		return g
 	}
+	//pjoin:allow hotpath free-list warmup: groups are allocated once, then recycled via freeGroup for the run's lifetime
 	return &group{}
 }
 
@@ -205,6 +208,7 @@ func (m *memIndex) rehash() {
 		}
 	}
 	old := m.slots
+	//pjoin:allow hotpath table growth doubles, so the rehash allocation amortizes to O(1) per insert
 	m.slots = make([]*group, size)
 	m.tombs = 0
 	mask := uint64(size - 1)

@@ -84,7 +84,7 @@ type SpillStore interface {
 // byte slices but all traffic is counted, letting the simulator charge
 // I/O costs deterministically.
 type MemSpill struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //pjoin:lockrank leaf
 	parts map[int][]byte
 	gens  map[int]uint64 // bumped on Truncate to invalidate open cursors
 	stats IOStats
@@ -263,7 +263,7 @@ func (m *MemSpill) Close() error {
 // FileSpill is a SpillStore backed by one file per partition under a
 // directory, for running the operators against a real disk.
 type FileSpill struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //pjoin:lockrank leaf
 	dir   string
 	files map[int]*os.File
 	gens  map[int]uint64 // bumped on Truncate to invalidate open cursors

@@ -199,8 +199,11 @@ func (st *State) BucketOf(key value.Value) int {
 // allocation per storedChunk inserts) and its index node from a free
 // list, so steady-state insertion allocates far less than one object per
 // tuple.
+//
+//pjoin:hotpath
 func (st *State) Insert(t *stream.Tuple) (*StoredTuple, error) {
 	if len(t.Values) <= st.attr {
+		//pjoin:allow hotpath malformed-tuple error path: never taken on schema-valid streams
 		return nil, fmt.Errorf("store: state %s: tuple width %d lacks join attribute %d", st.name, len(t.Values), st.attr)
 	}
 	key := t.Values[st.attr]
@@ -224,6 +227,8 @@ func (st *State) Insert(t *stream.Tuple) (*StoredTuple, error) {
 // equals the number of matches (O(matches)); on the scan fallback the
 // whole bucket is walked and examined is its occupancy, like the
 // pre-index implementation.
+//
+//pjoin:hotpath
 func (st *State) ProbeMem(key value.Value, dst []*StoredTuple) (matches []*StoredTuple, examined int) {
 	h := st.hash(key)
 	b := &st.bkts[h%uint64(len(st.bkts))]
@@ -260,6 +265,8 @@ type MemProbe struct {
 // Release invalidates the memoized result and drops the stored-tuple
 // pointers (the slice capacity is kept). Call it when the probed state
 // may purge tuples the cache pins, e.g. at a batch boundary.
+//
+//pjoin:hotpath
 func (mp *MemProbe) Release() {
 	mp.valid = false
 	mp.key = value.Value{}
@@ -275,6 +282,8 @@ func (mp *MemProbe) Release() {
 // returned without touching the index — bit-identical to a fresh probe,
 // including the cost accounting. On a miss it probes normally and
 // memoizes into mp.
+//
+//pjoin:hotpath
 func (st *State) ProbeMemCached(key value.Value, mp *MemProbe) (matches []*StoredTuple, examined int) {
 	if mp.valid && mp.seq == st.seq && mp.key.Equal(key) {
 		return mp.matches, mp.examined

@@ -110,12 +110,17 @@ func (v Value) BoolVal() bool {
 }
 
 // Equal reports whether v and w are the same kind and payload.
+//
+//pjoin:hotpath
 func (v Value) Equal(w Value) bool { return v == w }
 
 // Compare orders two values of the same kind: -1 if v < w, 0 if equal,
 // +1 if v > w. It returns an error for mixed kinds or invalid values.
+//
+//pjoin:hotpath
 func (v Value) Compare(w Value) (int, error) {
 	if v.kind != w.kind {
+		//pjoin:allow hotpath mixed-kind error path: never taken when both sides come from one schema-checked stream
 		return 0, fmt.Errorf("value: cannot compare %s with %s", v.kind, w.kind)
 	}
 	switch v.kind {
@@ -128,6 +133,7 @@ func (v Value) Compare(w Value) (int, error) {
 	case KindBool:
 		return cmpOrdered(v.num, w.num), nil
 	default:
+		//pjoin:allow hotpath invalid-value error path: unreachable for values built by the constructors
 		return 0, fmt.Errorf("value: cannot compare invalid values")
 	}
 }
@@ -135,6 +141,8 @@ func (v Value) Compare(w Value) (int, error) {
 // Less reports v < w for same-kind values, and false (with no error
 // surfaced) otherwise. It is a convenience for sorting homogeneous slices
 // whose kind has already been validated.
+//
+//pjoin:hotpath
 func (v Value) Less(w Value) bool {
 	c, err := v.Compare(w)
 	return err == nil && c < 0

@@ -268,18 +268,13 @@ func (x *XJoin) diskPass(now stream.Time) error {
 		return nil
 	}
 	start := time.Now()
-	spansOn := x.cfg.Instr.SpansEnabled()
-	if spansOn {
-		x.beginPassTrace(now, false)
-	}
+	x.beginPassTrace(now, false)
 	if err := x.base.DiskPass(now, joinbase.PassHooks{}); err != nil {
 		return err
 	}
 	wall := time.Since(start).Nanoseconds()
 	x.lat.RecordDiskPass(wall)
-	if spansOn {
-		x.endPassTrace(now, wall)
-	}
+	x.endPassTrace(now, wall)
 	return nil
 }
 
@@ -302,7 +297,15 @@ func (x *XJoin) passIOSnapshot() passIO {
 	return p
 }
 
+// beginPassTrace opens a provenance trace for a disk pass. No-op with
+// spans disabled, so call sites stay unconditional (spanpair pairs
+// them on all paths).
+//
+//pjoin:span begin pass
 func (x *XJoin) beginPassTrace(now stream.Time, chunked bool) {
+	if !x.cfg.Instr.SpansEnabled() {
+		return
+	}
 	x.passTrace = span.NewID()
 	x.passIOBase = x.passIOSnapshot()
 	x.passExamBase = x.base.M.DiskExamined
@@ -314,7 +317,13 @@ func (x *XJoin) beginPassTrace(now stream.Time, chunked bool) {
 	x.cfg.Instr.Span(span.KindPassStart, x.passTrace, now, -1, n, 0, 0, 0)
 }
 
+// endPassTrace closes a pass trace. No-op with spans disabled.
+//
+//pjoin:span end pass
 func (x *XJoin) endPassTrace(now stream.Time, wall int64) {
+	if !x.cfg.Instr.SpansEnabled() {
+		return
+	}
 	io := x.passIOSnapshot()
 	x.cfg.Instr.Span(span.KindPassIO, x.passTrace, now, -1,
 		io.reads-x.passIOBase.reads, io.hits-x.passIOBase.hits,
@@ -334,9 +343,7 @@ func (x *XJoin) stepDiskTask(now stream.Time) error {
 		}
 		x.diskTask = x.base.StartChunkPass(joinbase.PassHooks{}, x.cfg.DiskChunkBytes)
 		x.diskTaskStart = time.Now()
-		if spansOn {
-			x.beginPassTrace(now, true)
-		}
+		x.beginPassTrace(now, true)
 	}
 	if spansOn {
 		x.passStepIO = x.passIOSnapshot()
@@ -358,14 +365,13 @@ func (x *XJoin) stepDiskTask(now stream.Time) error {
 	}
 	if !done {
 		x.lat.RecordDiskChunk(stepWall)
+		//pjoin:allow spanpair a resumable pass stays open across steps by design; the completing step closes it, EOS-close covers aborts
 		return nil
 	}
 	x.diskTask = nil
 	passWall := time.Since(x.diskTaskStart).Nanoseconds()
 	x.lat.RecordDiskPass(passWall)
-	if spansOn {
-		x.endPassTrace(now, passWall)
-	}
+	x.endPassTrace(now, passWall)
 	return nil
 }
 
@@ -500,18 +506,13 @@ func (x *XJoin) Finish(now stream.Time) error {
 		}
 	} else if x.base.NeedsPass() {
 		start := time.Now()
-		spansOn := x.cfg.Instr.SpansEnabled()
-		if spansOn {
-			x.beginPassTrace(x.now, false)
-		}
+		x.beginPassTrace(x.now, false)
 		if err := x.base.DiskPass(x.now, joinbase.PassHooks{}); err != nil {
 			return err
 		}
 		wall := time.Since(start).Nanoseconds()
 		x.lat.RecordDiskPass(wall)
-		if spansOn {
-			x.endPassTrace(x.now, wall)
-		}
+		x.endPassTrace(x.now, wall)
 	}
 	x.finished = true
 	if lv := x.cfg.Instr.Live(); lv != nil {
